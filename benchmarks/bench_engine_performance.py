@@ -1,0 +1,41 @@
+"""Performance: reference node-pair implementation vs the dense-matrix engine.
+
+Not a paper experiment, but the scaling behaviour that justifies having two
+backends: the matrix engine is what makes subgraph-scale evaluation feasible.
+"""
+
+import pytest
+
+from repro.core.config import SimrankConfig
+from repro.core.simrank import BipartiteSimrank
+from repro.core.simrank_matrix import MatrixSimrank
+from repro.graph.components import largest_component
+
+CONFIG = SimrankConfig(iterations=7)
+
+
+@pytest.fixture(scope="module")
+def benchmark_graph(request):
+    from repro.synth.yahoo_like import yahoo_like_workload
+
+    return largest_component(yahoo_like_workload("tiny").click_graph)
+
+
+def test_reference_simrank_fit(benchmark, benchmark_graph):
+    benchmark.pedantic(
+        lambda: BipartiteSimrank(CONFIG).fit(benchmark_graph), rounds=3, iterations=1
+    )
+
+
+def test_matrix_simrank_fit(benchmark, benchmark_graph):
+    benchmark.pedantic(
+        lambda: MatrixSimrank(CONFIG, mode="simrank").fit(benchmark_graph), rounds=3, iterations=1
+    )
+
+
+def test_matrix_weighted_simrank_fit_small_dataset(benchmark, harness_result):
+    benchmark.pedantic(
+        lambda: MatrixSimrank(CONFIG, mode="weighted").fit(harness_result.dataset),
+        rounds=3,
+        iterations=1,
+    )

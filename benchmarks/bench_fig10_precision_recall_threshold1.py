@@ -1,0 +1,27 @@
+"""Figure 10: 11-point precision/recall and P@X with only grade 1 as the positive class."""
+
+from repro.eval.metrics import STANDARD_RECALL_LEVELS
+from repro.eval.reporting import format_series
+from repro.experiments.paper import figure10_precision_recall_strict
+
+
+def test_figure10_precision_recall_strict(benchmark, harness_result):
+    data = benchmark(lambda: figure10_precision_recall_strict(harness_result))
+    print()
+    print(
+        format_series(
+            data["precision_recall"],
+            x_labels=[f"{level:.1f}" for level in STANDARD_RECALL_LEVELS],
+            title="Figure 10 (top): interpolated precision at 11 recall levels (positive = grade 1)",
+            x_name="recall",
+        )
+    )
+    print()
+    print(
+        format_series(
+            data["precision_at_x"],
+            x_labels=[1, 2, 3, 4, 5],
+            title="Figure 10 (bottom): precision after X rewrites (positive = grade 1)",
+            x_name="X",
+        )
+    )

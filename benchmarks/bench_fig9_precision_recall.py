@@ -1,0 +1,28 @@
+"""Figure 9: 11-point precision/recall and P@X with grades {1,2} as the positive class."""
+
+from repro.eval.metrics import STANDARD_RECALL_LEVELS
+from repro.eval.reporting import format_series
+from repro.experiments.paper import figure9_precision_recall
+
+
+def test_figure9_precision_recall(benchmark, harness_result):
+    data = benchmark(lambda: figure9_precision_recall(harness_result))
+    print()
+    print(
+        format_series(
+            data["precision_recall"],
+            x_labels=[f"{level:.1f}" for level in STANDARD_RECALL_LEVELS],
+            title="Figure 9 (top): interpolated precision at 11 recall levels (positive = grades 1-2)",
+            x_name="recall",
+        )
+    )
+    print()
+    print(
+        format_series(
+            data["precision_at_x"],
+            x_labels=[1, 2, 3, 4, 5],
+            title="Figure 9 (bottom): precision after X rewrites (positive = grades 1-2)",
+            x_name="X",
+        )
+    )
+    print("(paper P@5: Pearson ~?, SimRank 75%, evidence-based 80%, weighted 86%; P@1 weighted 96%)")

@@ -1,0 +1,13 @@
+"""Table 1: common-ad similarity scores on the Figure 3 sample click graph."""
+
+from repro.core.baselines import CommonAdSimilarity
+from repro.eval.reporting import format_table
+from repro.experiments.paper import table1_common_ads
+from repro.synth.scenarios import figure3_graph
+
+
+def test_table1_common_ads(benchmark):
+    graph = figure3_graph()
+    benchmark(lambda: CommonAdSimilarity().fit(graph))
+    print()
+    print(format_table(table1_common_ads(), title="Table 1: common-ad query similarity"))

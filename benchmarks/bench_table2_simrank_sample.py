@@ -1,0 +1,15 @@
+"""Table 2: SimRank scores (C1 = C2 = 0.8) on the Figure 3 sample click graph."""
+
+from repro.core.config import SimrankConfig
+from repro.core.simrank import BipartiteSimrank
+from repro.eval.reporting import format_table
+from repro.experiments.paper import table2_simrank_sample
+from repro.synth.scenarios import figure3_graph
+
+
+def test_table2_simrank_sample(benchmark):
+    graph = figure3_graph()
+    config = SimrankConfig(iterations=20)
+    benchmark(lambda: BipartiteSimrank(config).fit(graph))
+    print()
+    print(format_table(table2_simrank_sample(), title="Table 2: SimRank scores (C1 = C2 = 0.8)"))

@@ -1,0 +1,10 @@
+"""Table 3: per-iteration SimRank scores on the K2,2 and K1,2 graphs of Figure 4."""
+
+from repro.eval.reporting import format_table
+from repro.experiments.paper import table3_simrank_iterations
+
+
+def test_table3_simrank_iterations(benchmark):
+    rows = benchmark(table3_simrank_iterations)
+    print()
+    print(format_table(rows, title="Table 3: SimRank per-iteration scores (C1 = C2 = 0.8)"))

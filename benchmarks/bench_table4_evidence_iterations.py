@@ -1,0 +1,14 @@
+"""Table 4: per-iteration evidence-based SimRank scores on the Figure 4 graphs."""
+
+from repro.eval.reporting import format_table
+from repro.experiments.paper import table4_evidence_iterations
+
+
+def test_table4_evidence_iterations(benchmark):
+    rows = benchmark(table4_evidence_iterations)
+    print()
+    print(
+        format_table(
+            rows, title="Table 4: evidence-based SimRank per-iteration scores (C1 = C2 = 0.8)"
+        )
+    )

@@ -1,0 +1,20 @@
+"""Table 5: dataset statistics of the subgraphs extracted by local partitioning."""
+
+from repro.eval.reporting import format_table
+from repro.experiments.paper import table5_dataset_statistics
+from repro.graph.statistics import degree_distribution
+
+
+def test_table5_dataset_statistics(benchmark, small_harness, harness_result):
+    # Benchmark the subgraph-extraction step itself (partitioning the giant
+    # component of the synthetic click graph into the evaluation dataset).
+    benchmark.pedantic(small_harness.build_subgraphs, rounds=1, iterations=1)
+    print()
+    print(format_table(table5_dataset_statistics(harness_result), title="Table 5: dataset statistics"))
+    ads_per_query = degree_distribution(harness_result.dataset, side="query")
+    queries_per_ad = degree_distribution(harness_result.dataset, side="ad")
+    clicks = degree_distribution(harness_result.dataset, side="clicks")
+    print(
+        "power-law exponents: ads-per-query %.2f, queries-per-ad %.2f, clicks-per-edge %.2f"
+        % (ads_per_query.exponent, queries_per_ad.exponent, clicks.exponent)
+    )

@@ -1,0 +1,14 @@
+"""Table 6: the editorial scoring system, exercised by the simulated judge."""
+
+from repro.eval.editorial import EditorialJudge
+from repro.eval.reporting import format_table
+from repro.experiments.paper import table6_editorial_grades
+
+
+def test_table6_editorial_grades(benchmark, small_workload):
+    judge = EditorialJudge(small_workload)
+    queries = sorted(small_workload.query_topics)[:200]
+    pairs = [(queries[i], queries[(i + 7) % len(queries)]) for i in range(len(queries))]
+    benchmark(lambda: judge.grade_pairs(pairs))
+    print()
+    print(format_table(table6_editorial_grades(small_workload), title="Table 6: editorial scoring system"))

@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+The figure benchmarks (Figures 8-12) all consume the same harness run over
+the "small" Yahoo!-like synthetic workload, so it is computed once per
+session here.  Each benchmark file prints the rows/series corresponding to
+its table or figure, so running ``pytest benchmarks/ --benchmark-only -s``
+regenerates the paper's evaluation outputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.harness import ExperimentHarness
+from repro.synth.yahoo_like import yahoo_like_workload
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """The 'small' synthetic Yahoo!-like workload used by Table 5 / Figures 8-12."""
+    return yahoo_like_workload("small")
+
+
+@pytest.fixture(scope="session")
+def small_harness():
+    """A configured harness over the small workload."""
+    return ExperimentHarness(workload_size="small", desirability_cases=50, seed=29)
+
+
+@pytest.fixture(scope="session")
+def harness_result(small_harness):
+    """One shared end-to-end evaluation run (methods, grades, metrics, desirability)."""
+    return small_harness.run()

@@ -1,0 +1,61 @@
+"""Simrank++: query rewriting through link analysis of the click graph.
+
+A full reproduction of Antonellis, Garcia-Molina & Chang (VLDB 2008):
+plain bipartite SimRank, evidence-based SimRank and weighted SimRank
+("Simrank++") over weighted query-ad click graphs, plus every substrate the
+paper's evaluation depends on -- click-graph construction and storage, local
+graph partitioning, a sponsored-search serving simulator, a synthetic
+Yahoo!-like workload generator, a simulated editorial judge and the complete
+evaluation harness that regenerates the paper's tables and figures.
+
+Quickstart::
+
+    from repro import ClickGraph, SimrankConfig, WeightedSimrank
+
+    graph = ClickGraph()
+    graph.add_edge("camera", "hp.com", impressions=500, clicks=40)
+    graph.add_edge("digital camera", "hp.com", impressions=400, clicks=35)
+
+    method = WeightedSimrank(SimrankConfig(iterations=7)).fit(graph)
+    print(method.query_similarity("camera", "digital camera"))
+"""
+
+from repro.core import (
+    BipartiteSimrank,
+    EvidenceSimrank,
+    MatrixSimrank,
+    PearsonSimilarity,
+    QueryRewriter,
+    SimilarityScores,
+    SimrankConfig,
+    WeightedSimrank,
+    available_methods,
+    create_method,
+)
+from repro.eval import EditorialJudge, ExperimentHarness
+from repro.graph import ClickGraph, ClickGraphStore, EdgeStats, WeightSource
+from repro.synth import generate_workload, yahoo_like_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BipartiteSimrank",
+    "EvidenceSimrank",
+    "MatrixSimrank",
+    "PearsonSimilarity",
+    "QueryRewriter",
+    "SimilarityScores",
+    "SimrankConfig",
+    "WeightedSimrank",
+    "available_methods",
+    "create_method",
+    "EditorialJudge",
+    "ExperimentHarness",
+    "ClickGraph",
+    "ClickGraphStore",
+    "EdgeStats",
+    "WeightSource",
+    "generate_workload",
+    "yahoo_like_workload",
+    "__version__",
+]

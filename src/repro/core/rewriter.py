@@ -1,0 +1,159 @@
+"""The sponsored-search front-end: turning similarity scores into rewrites.
+
+Section 9.3 of the paper describes the rewrite-generation procedure used in
+the evaluation: run a similarity method over the click graph, record the top
+100 rewrites per query, deduplicate them with stemming, remove rewrites that
+are not in the bid-term list (queries that never received a bid are unlikely
+to have active bids now), and keep at most five rewrites per query.  The
+number of rewrites that survive is the method's *depth* for that query.
+
+:class:`QueryRewriter` implements exactly that pipeline on top of any
+:class:`~repro.core.similarity_base.QuerySimilarityMethod`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, List, Optional, Sequence, Set
+
+from repro.core.similarity_base import QuerySimilarityMethod
+from repro.graph.click_graph import ClickGraph
+from repro.text.normalize import query_signature
+
+__all__ = ["Rewrite", "RewriteList", "QueryRewriter"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class Rewrite:
+    """One rewrite proposed for a query."""
+
+    query: Node
+    rewrite: Node
+    score: float
+    rank: int
+
+    def as_pair(self) -> tuple:
+        return (self.query, self.rewrite)
+
+
+@dataclass
+class RewriteList:
+    """All surviving rewrites of one query, in rank order."""
+
+    query: Node
+    rewrites: List[Rewrite]
+
+    @property
+    def depth(self) -> int:
+        """Number of rewrites that survived filtering (paper: the method's depth)."""
+        return len(self.rewrites)
+
+    @property
+    def covered(self) -> bool:
+        """Whether at least one rewrite survived (query-coverage numerator)."""
+        return bool(self.rewrites)
+
+    def top(self, k: int) -> List[Rewrite]:
+        return self.rewrites[:k]
+
+    def candidates(self) -> List[Node]:
+        return [rewrite.rewrite for rewrite in self.rewrites]
+
+
+class QueryRewriter:
+    """Generate filtered, ranked query rewrites from a similarity method."""
+
+    def __init__(
+        self,
+        method: QuerySimilarityMethod,
+        bid_terms: Optional[Set[str]] = None,
+        max_rewrites: int = 5,
+        candidate_pool: int = 100,
+        min_score: float = 0.0,
+        deduplicate: bool = True,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        method:
+            A fitted (or to-be-fitted) similarity method.
+        bid_terms:
+            The set of queries that received at least one bid during the
+            click-graph collection period.  When provided, rewrites outside
+            this set are filtered out (bid-term filtering).  ``None`` disables
+            the filter.
+        max_rewrites:
+            Maximum rewrites kept per query (the paper uses 5).
+        candidate_pool:
+            How many raw candidates to consider before filtering (the paper
+            records the top 100).
+        min_score:
+            Candidates with a similarity score at or below this value are
+            never proposed.
+        deduplicate:
+            Apply stemming-based duplicate removal (drop rewrites whose
+            stemmed signature equals the query's or an earlier rewrite's).
+        """
+        if max_rewrites < 1:
+            raise ValueError("max_rewrites must be at least 1")
+        if candidate_pool < max_rewrites:
+            raise ValueError("candidate_pool must be at least max_rewrites")
+        self.method = method
+        self.bid_terms = bid_terms
+        self.max_rewrites = max_rewrites
+        self.candidate_pool = candidate_pool
+        self.min_score = min_score
+        self.deduplicate = deduplicate
+
+    # ------------------------------------------------------------------- fit
+
+    def fit(self, graph: ClickGraph) -> "QueryRewriter":
+        """Fit the underlying similarity method on a click graph."""
+        self.method.fit(graph)
+        return self
+
+    # -------------------------------------------------------------- rewrites
+
+    def rewrites_for(self, query: Node) -> RewriteList:
+        """The surviving rewrites of one query, best first."""
+        candidates = self.method.top_rewrites(
+            query, k=self.candidate_pool, minimum=self.min_score
+        )
+        accepted: List[Rewrite] = []
+        seen_signatures = {query_signature(query)} if self.deduplicate else set()
+        for candidate, score in candidates:
+            if len(accepted) >= self.max_rewrites:
+                break
+            if self.bid_terms is not None and str(candidate) not in self.bid_terms:
+                continue
+            if self.deduplicate:
+                signature = query_signature(candidate)
+                if signature in seen_signatures:
+                    continue
+                seen_signatures.add(signature)
+            accepted.append(
+                Rewrite(query=query, rewrite=candidate, score=score, rank=len(accepted) + 1)
+            )
+        return RewriteList(query=query, rewrites=accepted)
+
+    def rewrite_all(self, queries: Iterable[Node]) -> List[RewriteList]:
+        """Rewrites for a whole evaluation query sample."""
+        return [self.rewrites_for(query) for query in queries]
+
+    # ----------------------------------------------------------------- stats
+
+    def coverage(self, queries: Sequence[Node]) -> float:
+        """Fraction of the given queries with at least one surviving rewrite."""
+        if not queries:
+            return 0.0
+        covered = sum(1 for query in queries if self.rewrites_for(query).covered)
+        return covered / len(queries)
+
+    def depth_histogram(self, queries: Sequence[Node]) -> List[int]:
+        """Count of queries by surviving-rewrite depth (index = depth)."""
+        histogram = [0] * (self.max_rewrites + 1)
+        for query in queries:
+            histogram[self.rewrites_for(query).depth] += 1
+        return histogram

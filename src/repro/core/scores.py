@@ -1,0 +1,118 @@
+"""Container for pairwise similarity scores.
+
+All similarity methods in :mod:`repro.core` return a :class:`SimilarityScores`
+object: a symmetric sparse map from node pairs to scores with convenient
+ranking helpers.  Scores of a node with itself are implicitly 1 and never
+stored; missing pairs score 0.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Tuple
+
+__all__ = ["SimilarityScores"]
+
+Node = Hashable
+
+
+class SimilarityScores:
+    """Symmetric sparse node-pair similarity scores."""
+
+    def __init__(self, scores: Dict[Tuple[Node, Node], float] = None) -> None:
+        self._by_node: Dict[Node, Dict[Node, float]] = {}
+        if scores:
+            for (first, second), value in scores.items():
+                self.set(first, second, value)
+
+    # --------------------------------------------------------------- mutation
+
+    def set(self, first: Node, second: Node, value: float) -> None:
+        """Set the similarity of an unordered pair (ignored for identical nodes)."""
+        if first == second:
+            return
+        self._by_node.setdefault(first, {})[second] = value
+        self._by_node.setdefault(second, {})[first] = value
+
+    def discard(self, first: Node, second: Node) -> None:
+        """Remove a stored pair if present."""
+        if first in self._by_node:
+            self._by_node[first].pop(second, None)
+        if second in self._by_node:
+            self._by_node[second].pop(first, None)
+
+    # ----------------------------------------------------------------- access
+
+    def score(self, first: Node, second: Node) -> float:
+        """Similarity of the pair; 1 for identical nodes, 0 when unknown."""
+        if first == second:
+            return 1.0
+        return self._by_node.get(first, {}).get(second, 0.0)
+
+    def neighbors(self, node: Node) -> Dict[Node, float]:
+        """All stored similarities involving ``node``."""
+        return dict(self._by_node.get(node, {}))
+
+    def top(self, node: Node, k: int = 5, minimum: float = 0.0) -> List[Tuple[Node, float]]:
+        """The ``k`` most similar nodes to ``node`` with score above ``minimum``.
+
+        Ties are broken deterministically by the textual representation of
+        the node identifier so experiments are reproducible.
+        """
+        candidates = [
+            (other, value)
+            for other, value in self._by_node.get(node, {}).items()
+            if value > minimum
+        ]
+        candidates.sort(key=lambda pair: (-pair[1], repr(pair[0])))
+        return candidates[:k]
+
+    def pairs(self) -> Iterator[Tuple[Node, Node, float]]:
+        """Iterate each stored unordered pair exactly once."""
+        emitted = set()
+        for first, row in self._by_node.items():
+            for second, value in row.items():
+                key = (first, second) if repr(first) <= repr(second) else (second, first)
+                if key in emitted:
+                    continue
+                emitted.add(key)
+                yield key[0], key[1], value
+
+    def nodes(self) -> Iterator[Node]:
+        """Nodes that appear in at least one stored pair."""
+        return iter(self._by_node)
+
+    def nonzero_count(self) -> int:
+        """Number of stored pairs with a non-zero score."""
+        return sum(1 for _, _, value in self.pairs() if value != 0.0)
+
+    # ------------------------------------------------------------------ misc
+
+    def max_difference(self, other: "SimilarityScores") -> float:
+        """Largest absolute per-pair difference against another score set."""
+        keys = {(a, b) for a, b, _ in self.pairs()} | {(a, b) for a, b, _ in other.pairs()}
+        if not keys:
+            return 0.0
+        return max(abs(self.score(a, b) - other.score(a, b)) for a, b in keys)
+
+    def copy(self) -> "SimilarityScores":
+        clone = SimilarityScores()
+        for first, second, value in self.pairs():
+            clone.set(first, second, value)
+        return clone
+
+    def scaled_by(self, factors: Dict[Tuple[Node, Node], float]) -> "SimilarityScores":
+        """New score set with each stored pair multiplied by a per-pair factor.
+
+        Pairs absent from ``factors`` keep their score (factor 1).
+        """
+        scaled = SimilarityScores()
+        for first, second, value in self.pairs():
+            factor = factors.get((first, second), factors.get((second, first), 1.0))
+            scaled.set(first, second, value * factor)
+        return scaled
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.pairs())
+
+    def __repr__(self) -> str:
+        return f"SimilarityScores(pairs={len(self)})"

@@ -1,0 +1,93 @@
+"""Common interface of all query-similarity methods.
+
+Every method (Pearson, the SimRank family and the extra baselines) follows
+the same two-phase protocol: :meth:`QuerySimilarityMethod.fit` analyses a
+click graph once, after which query-query similarities and ranked rewrite
+candidates can be read off repeatedly.  The evaluation harness only talks to
+this interface, so methods are interchangeable.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Hashable, List, Optional, Tuple
+
+from repro.core.scores import SimilarityScores
+from repro.graph.click_graph import ClickGraph
+
+__all__ = ["QuerySimilarityMethod"]
+
+Node = Hashable
+
+
+class QuerySimilarityMethod(abc.ABC):
+    """Base class for query-query similarity methods over a click graph."""
+
+    #: Short machine-readable method name used by the registry and reports.
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self._graph: Optional[ClickGraph] = None
+        self._query_scores: Optional[SimilarityScores] = None
+
+    # ------------------------------------------------------------------- fit
+
+    def fit(self, graph: ClickGraph) -> "QuerySimilarityMethod":
+        """Analyse the click graph and cache query-query similarity scores."""
+        self._graph = graph
+        self._query_scores = self._compute_query_scores(graph)
+        return self
+
+    @abc.abstractmethod
+    def _compute_query_scores(self, graph: ClickGraph) -> SimilarityScores:
+        """Compute the pairwise query similarity scores for ``graph``."""
+
+    # ---------------------------------------------------------------- access
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._query_scores is not None
+
+    @property
+    def graph(self) -> ClickGraph:
+        self._require_fitted()
+        return self._graph
+
+    def similarities(self) -> SimilarityScores:
+        """The full set of query-query similarity scores."""
+        self._require_fitted()
+        return self._query_scores
+
+    def query_similarity(self, first: Node, second: Node) -> float:
+        """Similarity of two queries (1 for identical queries, 0 if unrelated)."""
+        self._require_fitted()
+        return self._query_scores.score(first, second)
+
+    def top_rewrites(
+        self, query: Node, k: int = 5, minimum: float = 0.0
+    ) -> List[Tuple[Node, float]]:
+        """The ``k`` highest-scoring rewrite candidates for ``query``.
+
+        These are *unfiltered* candidates; the sponsored-search front-end
+        (:class:`repro.core.rewriter.QueryRewriter`) applies stemming-based
+        deduplication and bid-term filtering on top.
+        """
+        self._require_fitted()
+        return self._query_scores.top(query, k=k, minimum=minimum)
+
+    def covers(self, query: Node) -> bool:
+        """Whether the method can propose at least one rewrite for ``query``."""
+        self._require_fitted()
+        return bool(self._query_scores.top(query, k=1))
+
+    # ------------------------------------------------------------------ misc
+
+    def _require_fitted(self) -> None:
+        if self._query_scores is None:
+            raise RuntimeError(
+                f"{type(self).__name__} has not been fitted; call .fit(graph) first"
+            )
+
+    def __repr__(self) -> str:
+        state = "fitted" if self.is_fitted else "unfitted"
+        return f"{type(self).__name__}(name={self.name!r}, {state})"

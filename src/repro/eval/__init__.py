@@ -1,0 +1,54 @@
+"""Evaluation of query-rewriting methods (paper Sections 9.3-9.4).
+
+* :mod:`repro.eval.editorial` -- a simulated editorial judge that grades
+  query-rewrite pairs on the paper's 1-4 scale from the synthetic workload's
+  ground-truth topic model (substitute for Yahoo!'s editorial team).
+* :mod:`repro.eval.metrics` -- precision/recall, 11-point interpolated
+  precision-recall curves and P@X.
+* :mod:`repro.eval.coverage` -- query coverage and rewriting depth.
+* :mod:`repro.eval.desirability` -- the edge-removal desirability-prediction
+  experiment of Section 9.3 / Figure 12.
+* :mod:`repro.eval.harness` -- the end-to-end comparison harness producing
+  every number behind Figures 8-12.
+* :mod:`repro.eval.reporting` -- plain-text rendering of tables and series.
+"""
+
+from repro.eval.coverage import coverage_percentage, depth_distribution, depth_histogram
+from repro.eval.desirability import (
+    DesirabilityCase,
+    DesirabilityResult,
+    desirability,
+    run_desirability_experiment,
+)
+from repro.eval.editorial import EditorialJudge, GRADE_DESCRIPTIONS
+from repro.eval.harness import EvaluationResult, ExperimentHarness, MethodEvaluation
+from repro.eval.metrics import (
+    PrecisionRecallCurve,
+    average_precision,
+    interpolated_precision_recall,
+    precision_at_k,
+    precision_recall,
+)
+from repro.eval.reporting import format_series, format_table
+
+__all__ = [
+    "coverage_percentage",
+    "depth_distribution",
+    "depth_histogram",
+    "DesirabilityCase",
+    "DesirabilityResult",
+    "desirability",
+    "run_desirability_experiment",
+    "EditorialJudge",
+    "GRADE_DESCRIPTIONS",
+    "EvaluationResult",
+    "ExperimentHarness",
+    "MethodEvaluation",
+    "PrecisionRecallCurve",
+    "average_precision",
+    "interpolated_precision_recall",
+    "precision_at_k",
+    "precision_recall",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,56 @@
+"""Query coverage and rewriting depth (paper Sections 9.4(ii)-(iii)).
+
+* *Query coverage* is the fraction of evaluation queries for which a method
+  provides at least one (surviving) rewrite -- Figure 8.
+* *Rewriting depth* is the number of rewrites a method provides for a query
+  after filtering; Figure 11 reports, for each method, the percentage of
+  queries with depth exactly 5, at least 4, at least 3, at least 2 and at
+  least 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+
+from repro.core.rewriter import RewriteList
+
+__all__ = ["coverage_percentage", "depth_histogram", "depth_distribution", "DEPTH_BINS"]
+
+Node = Hashable
+
+#: The x-axis bins of Figure 11: exactly 5, then "at least" 4, 3, 2, 1.
+DEPTH_BINS: Tuple[str, ...] = ("5", "4-5", "3-5", "2-5", "1-5")
+
+
+def coverage_percentage(rewrite_lists: Mapping[Node, RewriteList]) -> float:
+    """Percentage of queries with at least one surviving rewrite."""
+    if not rewrite_lists:
+        return 0.0
+    covered = sum(1 for rewrites in rewrite_lists.values() if rewrites.covered)
+    return 100.0 * covered / len(rewrite_lists)
+
+
+def depth_histogram(rewrite_lists: Mapping[Node, RewriteList], max_depth: int = 5) -> List[int]:
+    """Count of queries at each exact depth 0..max_depth."""
+    histogram = [0] * (max_depth + 1)
+    for rewrites in rewrite_lists.values():
+        depth = min(rewrites.depth, max_depth)
+        histogram[depth] += 1
+    return histogram
+
+
+def depth_distribution(
+    rewrite_lists: Mapping[Node, RewriteList], max_depth: int = 5
+) -> Dict[str, float]:
+    """Figure 11 series: percentage of queries with depth 5, >=4, >=3, >=2, >=1."""
+    total = len(rewrite_lists)
+    if total == 0:
+        return {bin_name: 0.0 for bin_name in DEPTH_BINS}
+    histogram = depth_histogram(rewrite_lists, max_depth=max_depth)
+    distribution: Dict[str, float] = {}
+    distribution[str(max_depth)] = 100.0 * histogram[max_depth] / total
+    for lower in range(max_depth - 1, 0, -1):
+        bin_name = f"{lower}-{max_depth}"
+        count = sum(histogram[lower:])
+        distribution[bin_name] = 100.0 * count / total
+    return distribution

@@ -1,0 +1,92 @@
+"""Simulated editorial evaluation of query rewrites.
+
+The paper's rewrites were graded by professional members of Yahoo!'s
+editorial team on a 1-4 scale (Table 6):
+
+1. Precise rewrite -- matches the user's intent, preserves the core meaning.
+2. Approximate rewrite -- close relationship, scope narrowed/broadened.
+3. Possible rewrite -- same broad category or a complementary product.
+4. Clear mismatch -- no clear relationship.
+
+We substitute an automatic judge whose decisions come from the synthetic
+workload's *ground truth* (the topic model), not from the click graph --
+matching the paper's requirement that "the judgment scores are solely based
+on the evaluator's knowledge, and not on the contents of the click graph":
+
+* same topic and at least one shared (stemmed) content term -> grade 1,
+* same topic with no shared term -> grade 2,
+* related topics -> grade 3,
+* anything else -> grade 4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+from repro.synth.generator import SyntheticWorkload
+from repro.synth.topics import TopicRelation
+from repro.text.normalize import tokenize
+from repro.text.porter import stem
+
+__all__ = ["GRADE_DESCRIPTIONS", "EditorialJudge"]
+
+Node = Hashable
+
+#: Table 6 of the paper.
+GRADE_DESCRIPTIONS: Dict[int, str] = {
+    1: "Precise Match: near-certain match",
+    2: "Approximate Match: probable, but inexact match with user intent",
+    3: "Marginal Match: distant, but plausible match to a related topic",
+    4: "Mismatch: clear mismatch",
+}
+
+
+class EditorialJudge:
+    """Grades query-rewrite pairs from ground truth on the paper's 1-4 scale."""
+
+    def __init__(self, workload: SyntheticWorkload) -> None:
+        self.workload = workload
+
+    # --------------------------------------------------------------- grading
+
+    def grade(self, query: Node, rewrite: Node) -> int:
+        """Editorial grade (1 best, 4 worst) of one query-rewrite pair."""
+        if query == rewrite:
+            return 1
+        relation = self.workload.relation_between(str(query), str(rewrite))
+        if relation is TopicRelation.SAME:
+            if self._share_stemmed_term(str(query), str(rewrite)):
+                return 1
+            return 2
+        if relation is TopicRelation.RELATED:
+            return 3
+        return 4
+
+    def grade_pairs(self, pairs: Iterable[Tuple[Node, Node]]) -> Dict[Tuple[Node, Node], int]:
+        """Grade a batch of (query, rewrite) pairs."""
+        return {(query, rewrite): self.grade(query, rewrite) for query, rewrite in pairs}
+
+    def is_relevant(self, query: Node, rewrite: Node, threshold: int = 2) -> bool:
+        """Binary relevance: grade at or below ``threshold``.
+
+        ``threshold=2`` is the paper's primary setting (grades 1-2 are the
+        positive class, Figure 9); ``threshold=1`` is the strict setting of
+        Figure 10.
+        """
+        return self.grade(query, rewrite) <= threshold
+
+    # ------------------------------------------------------------- internals
+
+    @staticmethod
+    def _share_stemmed_term(query: str, rewrite: str) -> bool:
+        query_stems = {stem(token) for token in tokenize(query)}
+        rewrite_stems = {stem(token) for token in tokenize(rewrite)}
+        return bool(query_stems & rewrite_stems)
+
+
+def grade_summary(grades: Dict[Tuple[Node, Node], int]) -> List[Tuple[int, int]]:
+    """Histogram of grades: list of (grade, count) sorted by grade."""
+    histogram: Dict[int, int] = {1: 0, 2: 0, 3: 0, 4: 0}
+    for grade in grades.values():
+        histogram[grade] = histogram.get(grade, 0) + 1
+    return sorted(histogram.items())

@@ -1,0 +1,142 @@
+"""Information-retrieval metrics used in the paper's evaluation.
+
+The paper reports, per method (Section 9.4):
+
+* precision and recall of the graded rewrites, with the rewrites of *all*
+  methods pooled together as the recall denominator,
+* precision at 11 standard recall levels (the classic interpolated
+  precision-recall graph of Figures 9 and 10),
+* precision after X = 1..5 rewrites (P@X).
+
+A "relevant" rewrite is one whose editorial grade falls in the positive
+class: grades {1, 2} for Figure 9, grade {1} only for Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+__all__ = [
+    "precision_recall",
+    "precision_at_k",
+    "average_precision",
+    "interpolated_precision_recall",
+    "PrecisionRecallCurve",
+]
+
+Node = Hashable
+
+#: The 11 standard recall levels of an interpolated precision-recall graph.
+STANDARD_RECALL_LEVELS: Tuple[float, ...] = tuple(i / 10 for i in range(11))
+
+
+def precision_recall(
+    ranked_relevance: Sequence[bool], total_relevant: int
+) -> Tuple[float, float]:
+    """Precision and recall of a ranked rewrite list.
+
+    ``ranked_relevance`` flags, in rank order, whether each proposed rewrite
+    is relevant; ``total_relevant`` is the number of relevant rewrites
+    available for the query across all methods (the pooled denominator the
+    paper uses for recall).
+    """
+    if not ranked_relevance:
+        return 0.0, 0.0
+    relevant_returned = sum(ranked_relevance)
+    precision = relevant_returned / len(ranked_relevance)
+    recall = relevant_returned / total_relevant if total_relevant > 0 else 0.0
+    return precision, recall
+
+
+def precision_at_k(ranked_relevance: Sequence[bool], k: int) -> float:
+    """Precision of the first ``k`` proposed rewrites (P@k).
+
+    Queries with fewer than ``k`` rewrites are evaluated on what they have,
+    matching the paper's treatment of methods whose depth is below 5.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    top = list(ranked_relevance[:k])
+    if not top:
+        return 0.0
+    return sum(top) / len(top)
+
+
+def average_precision(ranked_relevance: Sequence[bool], total_relevant: int) -> float:
+    """Mean of precision values at each relevant rank (classic AP)."""
+    if total_relevant <= 0:
+        return 0.0
+    hits = 0
+    total = 0.0
+    for rank, relevant in enumerate(ranked_relevance, start=1):
+        if relevant:
+            hits += 1
+            total += hits / rank
+    return total / total_relevant
+
+
+@dataclass
+class PrecisionRecallCurve:
+    """Interpolated precision at the 11 standard recall levels."""
+
+    recall_levels: Tuple[float, ...] = STANDARD_RECALL_LEVELS
+    precisions: List[float] = field(default_factory=lambda: [0.0] * 11)
+
+    def as_pairs(self) -> List[Tuple[float, float]]:
+        return list(zip(self.recall_levels, self.precisions))
+
+    def precision_at_recall(self, recall: float) -> float:
+        """Interpolated precision at the closest standard recall level."""
+        index = min(
+            range(len(self.recall_levels)),
+            key=lambda i: abs(self.recall_levels[i] - recall),
+        )
+        return self.precisions[index]
+
+    @property
+    def mean_precision(self) -> float:
+        return sum(self.precisions) / len(self.precisions) if self.precisions else 0.0
+
+
+def interpolated_precision_recall(
+    per_query_rankings: Dict[Node, Sequence[bool]],
+    per_query_total_relevant: Dict[Node, int],
+) -> PrecisionRecallCurve:
+    """Average interpolated precision-recall curve over a query sample.
+
+    For each query the (precision, recall) points along its ranking are
+    interpolated in the standard way (precision at recall ``r`` = maximum
+    precision at any recall >= ``r``); the per-query curves are then averaged
+    over all queries that have at least one relevant rewrite available.
+    """
+    summed = [0.0] * len(STANDARD_RECALL_LEVELS)
+    counted = 0
+    for query, ranking in per_query_rankings.items():
+        total_relevant = per_query_total_relevant.get(query, 0)
+        if total_relevant <= 0:
+            continue
+        counted += 1
+        curve = _single_query_interpolated(ranking, total_relevant)
+        for index, value in enumerate(curve):
+            summed[index] += value
+    if counted == 0:
+        return PrecisionRecallCurve()
+    return PrecisionRecallCurve(precisions=[value / counted for value in summed])
+
+
+def _single_query_interpolated(
+    ranking: Sequence[bool], total_relevant: int
+) -> List[float]:
+    """Interpolated precision of one query at the 11 standard recall levels."""
+    points: List[Tuple[float, float]] = []  # (recall, precision) along the ranking
+    hits = 0
+    for rank, relevant in enumerate(ranking, start=1):
+        if relevant:
+            hits += 1
+            points.append((hits / total_relevant, hits / rank))
+    interpolated: List[float] = []
+    for level in STANDARD_RECALL_LEVELS:
+        candidates = [precision for recall, precision in points if recall >= level - 1e-12]
+        interpolated.append(max(candidates) if candidates else 0.0)
+    return interpolated

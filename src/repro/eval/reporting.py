@@ -1,0 +1,67 @@
+"""Plain-text rendering of experiment tables and series.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Union
+
+__all__ = ["format_table", "format_series"]
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell, precision: int = 4) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Cell]],
+    columns: Sequence[str] = None,
+    title: str = "",
+    precision: int = 4,
+) -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows: List[List[str]] = [
+        [_format_cell(row.get(column, ""), precision) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(rendered[i]) for rendered in rendered_rows))
+        for i, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for rendered in rendered_rows:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(rendered, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Dict[str, Sequence[Cell]],
+    x_labels: Sequence[Cell],
+    title: str = "",
+    x_name: str = "x",
+    precision: int = 4,
+) -> str:
+    """Render one or more named series over a shared x-axis as a table."""
+    rows = []
+    for index, x_value in enumerate(x_labels):
+        row: Dict[str, Cell] = {x_name: x_value}
+        for name, values in series.items():
+            row[name] = values[index] if index < len(values) else ""
+        rows.append(row)
+    return format_table(rows, columns=[x_name, *series.keys()], title=title, precision=precision)

@@ -1,0 +1,36 @@
+"""Per-table / per-figure experiment drivers.
+
+:mod:`repro.experiments.paper` exposes one function per table and figure of
+the paper's evaluation; :mod:`repro.experiments.cli` wraps them in a small
+command-line interface (``simrankpp-experiments``).
+"""
+
+from repro.experiments.paper import (
+    PaperExperiments,
+    figure8_query_coverage,
+    figure9_precision_recall,
+    figure10_precision_recall_strict,
+    figure11_rewriting_depth,
+    figure12_desirability,
+    table1_common_ads,
+    table2_simrank_sample,
+    table3_simrank_iterations,
+    table4_evidence_iterations,
+    table5_dataset_statistics,
+    table6_editorial_grades,
+)
+
+__all__ = [
+    "PaperExperiments",
+    "figure8_query_coverage",
+    "figure9_precision_recall",
+    "figure10_precision_recall_strict",
+    "figure11_rewriting_depth",
+    "figure12_desirability",
+    "table1_common_ads",
+    "table2_simrank_sample",
+    "table3_simrank_iterations",
+    "table4_evidence_iterations",
+    "table5_dataset_statistics",
+    "table6_editorial_grades",
+]

@@ -1,0 +1,70 @@
+"""Command-line interface: ``simrankpp-experiments``.
+
+Examples::
+
+    simrankpp-experiments --experiment table3
+    simrankpp-experiments --experiment figure8 --size tiny
+    simrankpp-experiments --experiment all --size small --seed 42
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.config import SimrankConfig
+from repro.experiments.paper import PaperExperiments
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="simrankpp-experiments",
+        description="Regenerate the tables and figures of the Simrank++ paper (VLDB 2008).",
+    )
+    parser.add_argument(
+        "--experiment",
+        default="all",
+        help="which experiment to run: table1..table6, figure8..figure12, or 'all'",
+    )
+    parser.add_argument(
+        "--size",
+        default="small",
+        choices=["tiny", "small", "medium"],
+        help="synthetic workload size used for Table 5 and Figures 8-12",
+    )
+    parser.add_argument("--iterations", type=int, default=7, help="SimRank iterations")
+    parser.add_argument("--decay", type=float, default=0.8, help="SimRank decay factors C1 = C2")
+    parser.add_argument(
+        "--desirability-cases", type=int, default=50, help="cases for the Figure 12 experiment"
+    )
+    parser.add_argument("--seed", type=int, default=29, help="random seed")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    config = SimrankConfig(c1=args.decay, c2=args.decay, iterations=args.iterations)
+    experiments = PaperExperiments(
+        workload_size=args.size,
+        config=config,
+        desirability_cases=args.desirability_cases,
+        seed=args.seed,
+    )
+    if args.experiment == "all":
+        output = experiments.render_all()
+    else:
+        try:
+            output = experiments.render(args.experiment)
+        except ValueError as exc:
+            parser.error(str(exc))
+            return 2
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Click graph substrate.
+
+This package implements the weighted bipartite *click graph* described in
+Section 2 of the paper: queries on one side, ads on the other, and an edge
+``(q, a)`` whenever ad ``a`` received at least one click for query ``q``.
+Each edge carries three weights: the number of impressions, the number of
+clicks and the (position-adjusted) expected click rate.
+
+The main entry point is :class:`ClickGraph`.  Helpers cover construction from
+raw click logs (:mod:`repro.graph.builders`), persistence
+(:mod:`repro.graph.io`, :mod:`repro.graph.storage`), structural statistics
+(:mod:`repro.graph.statistics`), connected components
+(:mod:`repro.graph.components`) and integrity validation
+(:mod:`repro.graph.validation`).
+"""
+
+from repro.graph.click_graph import ClickGraph, EdgeStats, NodeKind, WeightSource
+from repro.graph.builders import build_click_graph_from_log, merge_click_graphs
+from repro.graph.components import connected_components, largest_component
+from repro.graph.io import (
+    read_edges_jsonl,
+    read_edges_tsv,
+    write_edges_jsonl,
+    write_edges_tsv,
+)
+from repro.graph.sampling import sample_queries_by_traffic
+from repro.graph.statistics import (
+    DatasetStatistics,
+    DegreeDistribution,
+    dataset_statistics,
+    degree_distribution,
+    estimate_power_law_exponent,
+)
+from repro.graph.storage import ClickGraphStore
+from repro.graph.validation import ValidationIssue, validate_click_graph
+
+__all__ = [
+    "ClickGraph",
+    "EdgeStats",
+    "NodeKind",
+    "WeightSource",
+    "build_click_graph_from_log",
+    "merge_click_graphs",
+    "connected_components",
+    "largest_component",
+    "read_edges_jsonl",
+    "read_edges_tsv",
+    "write_edges_jsonl",
+    "write_edges_tsv",
+    "sample_queries_by_traffic",
+    "DatasetStatistics",
+    "DegreeDistribution",
+    "dataset_statistics",
+    "degree_distribution",
+    "estimate_power_law_exponent",
+    "ClickGraphStore",
+    "ValidationIssue",
+    "validate_click_graph",
+]

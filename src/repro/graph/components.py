@@ -1,0 +1,125 @@
+"""Connected components of a click graph.
+
+The Yahoo! click graph of the paper "consists of one huge connected component
+and several smaller subgraphs" (Section 9.2).  These helpers find the
+components so that the partitioning stage can focus on the giant one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, List, Set, Tuple
+
+from repro.graph.click_graph import ClickGraph
+
+__all__ = ["connected_components", "largest_component", "component_of", "bfs_ball"]
+
+Node = Hashable
+
+
+def connected_components(graph: ClickGraph) -> List[Tuple[Set[Node], Set[Node]]]:
+    """Return the connected components as ``(queries, ads)`` pairs.
+
+    Components are sorted by decreasing total node count so the giant
+    component comes first.  Isolated nodes form singleton components.
+    """
+    seen_queries: Set[Node] = set()
+    seen_ads: Set[Node] = set()
+    components: List[Tuple[Set[Node], Set[Node]]] = []
+
+    for start in graph.queries():
+        if start in seen_queries:
+            continue
+        queries, ads = _bfs(graph, start_query=start)
+        seen_queries |= queries
+        seen_ads |= ads
+        components.append((queries, ads))
+
+    for start in graph.ads():
+        if start in seen_ads:
+            continue
+        queries, ads = _bfs(graph, start_ad=start)
+        seen_queries |= queries
+        seen_ads |= ads
+        components.append((queries, ads))
+
+    components.sort(key=lambda pair: len(pair[0]) + len(pair[1]), reverse=True)
+    return components
+
+
+def largest_component(graph: ClickGraph) -> ClickGraph:
+    """Induced subgraph on the largest connected component."""
+    components = connected_components(graph)
+    if not components:
+        return ClickGraph()
+    queries, ads = components[0]
+    return graph.subgraph(queries=queries, ads=ads)
+
+
+def component_of(graph: ClickGraph, query: Node) -> Tuple[Set[Node], Set[Node]]:
+    """The connected component containing a given query node."""
+    if not graph.has_query(query):
+        raise KeyError(f"query {query!r} is not in the graph")
+    return _bfs(graph, start_query=query)
+
+
+def bfs_ball(graph: ClickGraph, query: Node, radius: int) -> Tuple[Set[Node], Set[Node]]:
+    """Queries and ads within ``radius`` hops of a query node.
+
+    Hop counts alternate sides (query -> ad is one hop).  SimRank scores after
+    ``k`` iterations only depend on nodes within ``2k`` hops, so restricting a
+    computation to such a ball is a sound locality optimization.
+    """
+    if not graph.has_query(query):
+        raise KeyError(f"query {query!r} is not in the graph")
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    queries: Set[Node] = {query}
+    ads: Set[Node] = set()
+    frontier = deque([("query", query, 0)])
+    while frontier:
+        kind, node, depth = frontier.popleft()
+        if depth >= radius:
+            continue
+        if kind == "query":
+            for ad in graph.ads_of(node):
+                if ad not in ads:
+                    ads.add(ad)
+                    frontier.append(("ad", ad, depth + 1))
+        else:
+            for neighbour in graph.queries_of(node):
+                if neighbour not in queries:
+                    queries.add(neighbour)
+                    frontier.append(("query", neighbour, depth + 1))
+    return queries, ads
+
+
+def _bfs(
+    graph: ClickGraph,
+    start_query: Node = None,
+    start_ad: Node = None,
+) -> Tuple[Set[Node], Set[Node]]:
+    """Breadth-first traversal from a query or ad node."""
+    queries: Set[Node] = set()
+    ads: Set[Node] = set()
+    frontier = deque()
+    if start_query is not None:
+        queries.add(start_query)
+        frontier.append(("query", start_query))
+    if start_ad is not None:
+        ads.add(start_ad)
+        frontier.append(("ad", start_ad))
+
+    while frontier:
+        kind, node = frontier.popleft()
+        if kind == "query":
+            for ad in graph.ads_of(node):
+                if ad not in ads:
+                    ads.add(ad)
+                    frontier.append(("ad", ad))
+        else:
+            for query in graph.queries_of(node):
+                if query not in queries:
+                    queries.add(query)
+                    frontier.append(("query", query))
+    return queries, ads

@@ -1,0 +1,102 @@
+"""Flat-file persistence of click graphs (TSV and JSON-lines)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.graph.click_graph import ClickGraph, EdgeStats
+
+__all__ = ["write_edges_tsv", "read_edges_tsv", "write_edges_jsonl", "read_edges_jsonl"]
+
+PathLike = Union[str, Path]
+
+_TSV_HEADER = "query\tad\timpressions\tclicks\texpected_click_rate"
+
+
+def write_edges_tsv(graph: ClickGraph, path: PathLike) -> int:
+    """Write the graph's edge list as tab-separated values.
+
+    Node identifiers are written with ``str()``; isolated nodes are not
+    preserved.  Returns the number of edges written.
+    """
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(_TSV_HEADER + "\n")
+        for query, ad, stats in graph.edges():
+            handle.write(
+                f"{query}\t{ad}\t{stats.impressions}\t{stats.clicks}"
+                f"\t{stats.expected_click_rate:.10g}\n"
+            )
+            count += 1
+    return count
+
+
+def read_edges_tsv(path: PathLike) -> ClickGraph:
+    """Read a graph previously written by :func:`write_edges_tsv`."""
+    graph = ClickGraph()
+    with open(path, "r", encoding="utf-8") as handle:
+        header = handle.readline().rstrip("\n")
+        if header != _TSV_HEADER:
+            raise ValueError(f"unexpected TSV header: {header!r}")
+        for line_number, line in enumerate(handle, start=2):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            fields = line.split("\t")
+            if len(fields) != 5:
+                raise ValueError(f"line {line_number}: expected 5 fields, got {len(fields)}")
+            query, ad, impressions, clicks, ecr = fields
+            graph.add_edge_stats(
+                query,
+                ad,
+                EdgeStats(
+                    impressions=int(impressions),
+                    clicks=int(clicks),
+                    expected_click_rate=float(ecr),
+                ),
+            )
+    return graph
+
+
+def write_edges_jsonl(graph: ClickGraph, path: PathLike) -> int:
+    """Write one JSON object per edge (preserves non-string identifiers that
+    round-trip through JSON).  Returns the number of edges written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for query, ad, stats in graph.edges():
+            record = {
+                "query": query,
+                "ad": ad,
+                "impressions": stats.impressions,
+                "clicks": stats.clicks,
+                "expected_click_rate": stats.expected_click_rate,
+            }
+            handle.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def read_edges_jsonl(path: PathLike) -> ClickGraph:
+    """Read a graph previously written by :func:`write_edges_jsonl`."""
+    graph = ClickGraph()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            try:
+                graph.add_edge_stats(
+                    record["query"],
+                    record["ad"],
+                    EdgeStats(
+                        impressions=int(record["impressions"]),
+                        clicks=int(record["clicks"]),
+                        expected_click_rate=float(record["expected_click_rate"]),
+                    ),
+                )
+            except KeyError as exc:
+                raise ValueError(f"line {line_number}: missing field {exc}") from exc
+    return graph

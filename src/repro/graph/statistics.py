@@ -1,0 +1,144 @@
+"""Structural statistics of click graphs.
+
+Section 9.2 of the paper reports, for the extracted dataset, the number of
+queries, ads and edges per subgraph (Table 5) and observes power-law
+distributions for ads-per-query, queries-per-ad and clicks per query-ad pair.
+This module computes those statistics and fits power-law exponents so the
+synthetic workload can be checked against the paper's qualitative claims.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.graph.click_graph import ClickGraph
+
+__all__ = [
+    "DatasetStatistics",
+    "DegreeDistribution",
+    "dataset_statistics",
+    "degree_distribution",
+    "estimate_power_law_exponent",
+]
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """Counts reported per subgraph in Table 5."""
+
+    num_queries: int
+    num_ads: int
+    num_edges: int
+    total_clicks: int = 0
+    total_impressions: int = 0
+
+    def as_row(self) -> Dict[str, int]:
+        """Row in the shape of Table 5 (queries / ads / edges)."""
+        return {
+            "# of Queries": self.num_queries,
+            "# of Ads": self.num_ads,
+            "# of Edges": self.num_edges,
+        }
+
+    def __add__(self, other: "DatasetStatistics") -> "DatasetStatistics":
+        return DatasetStatistics(
+            num_queries=self.num_queries + other.num_queries,
+            num_ads=self.num_ads + other.num_ads,
+            num_edges=self.num_edges + other.num_edges,
+            total_clicks=self.total_clicks + other.total_clicks,
+            total_impressions=self.total_impressions + other.total_impressions,
+        )
+
+
+@dataclass(frozen=True)
+class DegreeDistribution:
+    """Histogram of a degree-like quantity plus a power-law exponent fit."""
+
+    counts: Dict[int, int] = field(default_factory=dict)
+    exponent: float = float("nan")
+
+    @property
+    def num_observations(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def mean(self) -> float:
+        total = self.num_observations
+        if total == 0:
+            return 0.0
+        return sum(value * count for value, count in self.counts.items()) / total
+
+    @property
+    def max(self) -> int:
+        return max(self.counts) if self.counts else 0
+
+    def fraction_at_least(self, threshold: int) -> float:
+        """Fraction of observations with value >= ``threshold``."""
+        total = self.num_observations
+        if total == 0:
+            return 0.0
+        return sum(count for value, count in self.counts.items() if value >= threshold) / total
+
+
+def dataset_statistics(graph: ClickGraph) -> DatasetStatistics:
+    """Table-5 style statistics for one (sub)graph."""
+    return DatasetStatistics(
+        num_queries=graph.num_queries,
+        num_ads=graph.num_ads,
+        num_edges=graph.num_edges,
+        total_clicks=graph.total_clicks(),
+        total_impressions=graph.total_impressions(),
+    )
+
+
+def degree_distribution(graph: ClickGraph, side: str = "query") -> DegreeDistribution:
+    """Distribution of ads-per-query (``side='query'``), queries-per-ad
+    (``side='ad'``) or clicks-per-edge (``side='clicks'``)."""
+    if side == "query":
+        values = [graph.query_degree(query) for query in graph.queries()]
+    elif side == "ad":
+        values = [graph.ad_degree(ad) for ad in graph.ads()]
+    elif side == "clicks":
+        values = [stats.clicks for _, _, stats in graph.edges()]
+    else:
+        raise ValueError(f"side must be 'query', 'ad' or 'clicks', got {side!r}")
+    values = [value for value in values if value > 0]
+    counts = dict(Counter(values))
+    exponent = estimate_power_law_exponent(values) if values else float("nan")
+    return DegreeDistribution(counts=counts, exponent=exponent)
+
+
+def estimate_power_law_exponent(values: Sequence[int], xmin: int = 1) -> float:
+    """Maximum-likelihood estimate of a discrete power-law exponent.
+
+    Uses the standard continuous approximation
+    ``alpha = 1 + n / sum(log(x_i / (xmin - 0.5)))`` (Clauset et al.), which
+    is adequate for the qualitative "is this heavy-tailed?" check the paper
+    makes about its click graph.
+    """
+    filtered = [value for value in values if value >= xmin]
+    if not filtered:
+        raise ValueError("no observations at or above xmin")
+    denominator = sum(math.log(value / (xmin - 0.5)) for value in filtered)
+    if denominator <= 0:
+        return float("inf")
+    return 1.0 + len(filtered) / denominator
+
+
+def statistics_table(subgraphs: Sequence[ClickGraph]) -> List[Dict[str, int]]:
+    """Build the full Table 5: one row per subgraph plus a Total row."""
+    rows: List[Dict[str, int]] = []
+    total = DatasetStatistics(0, 0, 0)
+    for index, subgraph in enumerate(subgraphs, start=1):
+        stats = dataset_statistics(subgraph)
+        row = {"subgraph": f"subgraph {index}"}
+        row.update(stats.as_row())
+        rows.append(row)
+        total = total + stats
+    total_row = {"subgraph": "Total"}
+    total_row.update(total.as_row())
+    rows.append(total_row)
+    return rows

@@ -1,0 +1,187 @@
+"""SQLite-backed persistence for click graphs and bid lists.
+
+The paper's pipeline keeps two durable artefacts around: the historical click
+graph gathered by the back-end, and the list of queries that received at
+least one bid during the collection period (used for bid-term filtering,
+Section 9.3).  :class:`ClickGraphStore` persists both in a single SQLite
+database so experiments can be re-run without regenerating the workload.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Iterable, List, Optional, Set, Union
+
+from repro.graph.click_graph import ClickGraph, EdgeStats
+
+__all__ = ["ClickGraphStore"]
+
+PathLike = Union[str, Path]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS graphs (
+    name TEXT PRIMARY KEY,
+    created_at TEXT DEFAULT CURRENT_TIMESTAMP
+);
+CREATE TABLE IF NOT EXISTS edges (
+    graph_name TEXT NOT NULL,
+    query TEXT NOT NULL,
+    ad TEXT NOT NULL,
+    impressions INTEGER NOT NULL,
+    clicks INTEGER NOT NULL,
+    expected_click_rate REAL NOT NULL,
+    PRIMARY KEY (graph_name, query, ad),
+    FOREIGN KEY (graph_name) REFERENCES graphs(name) ON DELETE CASCADE
+);
+CREATE INDEX IF NOT EXISTS idx_edges_query ON edges(graph_name, query);
+CREATE INDEX IF NOT EXISTS idx_edges_ad ON edges(graph_name, ad);
+CREATE TABLE IF NOT EXISTS bid_terms (
+    list_name TEXT NOT NULL,
+    query TEXT NOT NULL,
+    PRIMARY KEY (list_name, query)
+);
+"""
+
+
+class ClickGraphStore:
+    """Store and retrieve named click graphs and bid-term lists in SQLite.
+
+    The store can be used as a context manager::
+
+        with ClickGraphStore("clicks.db") as store:
+            store.save_graph("two-week", graph)
+            later = store.load_graph("two-week")
+    """
+
+    def __init__(self, path: PathLike = ":memory:") -> None:
+        self._path = str(path)
+        self._connection = sqlite3.connect(self._path)
+        self._connection.execute("PRAGMA foreign_keys = ON")
+        self._connection.executescript(_SCHEMA)
+
+    # ------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "ClickGraphStore":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        self.close()
+
+    # ---------------------------------------------------------------- graphs
+
+    def save_graph(self, name: str, graph: ClickGraph, replace: bool = True) -> int:
+        """Persist a graph under ``name``; returns the number of edges stored.
+
+        Node identifiers are stored as text.  With ``replace=False`` saving
+        over an existing name raises ``ValueError``.
+        """
+        cursor = self._connection.cursor()
+        exists = cursor.execute(
+            "SELECT 1 FROM graphs WHERE name = ?", (name,)
+        ).fetchone()
+        if exists and not replace:
+            raise ValueError(f"graph {name!r} already exists")
+        if exists:
+            cursor.execute("DELETE FROM edges WHERE graph_name = ?", (name,))
+        else:
+            cursor.execute("INSERT INTO graphs (name) VALUES (?)", (name,))
+        rows = [
+            (name, str(query), str(ad), stats.impressions, stats.clicks, stats.expected_click_rate)
+            for query, ad, stats in graph.edges()
+        ]
+        cursor.executemany(
+            "INSERT INTO edges (graph_name, query, ad, impressions, clicks, expected_click_rate)"
+            " VALUES (?, ?, ?, ?, ?, ?)",
+            rows,
+        )
+        self._connection.commit()
+        return len(rows)
+
+    def load_graph(self, name: str) -> ClickGraph:
+        """Load a previously saved graph.  Raises ``KeyError`` if unknown."""
+        cursor = self._connection.cursor()
+        exists = cursor.execute(
+            "SELECT 1 FROM graphs WHERE name = ?", (name,)
+        ).fetchone()
+        if not exists:
+            raise KeyError(f"no stored graph named {name!r}")
+        graph = ClickGraph()
+        rows = cursor.execute(
+            "SELECT query, ad, impressions, clicks, expected_click_rate"
+            " FROM edges WHERE graph_name = ?",
+            (name,),
+        )
+        for query, ad, impressions, clicks, ecr in rows:
+            graph.add_edge_stats(
+                query,
+                ad,
+                EdgeStats(
+                    impressions=impressions, clicks=clicks, expected_click_rate=ecr
+                ),
+            )
+        return graph
+
+    def delete_graph(self, name: str) -> None:
+        """Remove a stored graph (no-op when absent)."""
+        cursor = self._connection.cursor()
+        cursor.execute("DELETE FROM edges WHERE graph_name = ?", (name,))
+        cursor.execute("DELETE FROM graphs WHERE name = ?", (name,))
+        self._connection.commit()
+
+    def list_graphs(self) -> List[str]:
+        """Names of all stored graphs."""
+        cursor = self._connection.cursor()
+        return [row[0] for row in cursor.execute("SELECT name FROM graphs ORDER BY name")]
+
+    def edge_count(self, name: str) -> int:
+        """Number of edges stored for a graph."""
+        cursor = self._connection.cursor()
+        row = cursor.execute(
+            "SELECT COUNT(*) FROM edges WHERE graph_name = ?", (name,)
+        ).fetchone()
+        return int(row[0])
+
+    # ------------------------------------------------------------- bid terms
+
+    def save_bid_terms(self, list_name: str, queries: Iterable[str], replace: bool = True) -> int:
+        """Persist the set of queries that received bids during the period."""
+        cursor = self._connection.cursor()
+        if replace:
+            cursor.execute("DELETE FROM bid_terms WHERE list_name = ?", (list_name,))
+        rows = [(list_name, str(query)) for query in set(queries)]
+        cursor.executemany(
+            "INSERT OR IGNORE INTO bid_terms (list_name, query) VALUES (?, ?)", rows
+        )
+        self._connection.commit()
+        return len(rows)
+
+    def load_bid_terms(self, list_name: str) -> Set[str]:
+        """Load a bid-term list (empty set when the list is unknown)."""
+        cursor = self._connection.cursor()
+        rows = cursor.execute(
+            "SELECT query FROM bid_terms WHERE list_name = ?", (list_name,)
+        )
+        return {row[0] for row in rows}
+
+    # ----------------------------------------------------------------- misc
+
+    def query_neighbors(self, graph_name: str, query: str) -> List[str]:
+        """Ads connected to ``query`` without materialising the whole graph."""
+        cursor = self._connection.cursor()
+        rows = cursor.execute(
+            "SELECT ad FROM edges WHERE graph_name = ? AND query = ?",
+            (graph_name, str(query)),
+        )
+        return [row[0] for row in rows]
+
+    def vacuum(self) -> None:
+        """Reclaim space after large deletions."""
+        self._connection.execute("VACUUM")
+
+    @property
+    def path(self) -> str:
+        return self._path

@@ -1,0 +1,109 @@
+"""Integrity validation of click graphs.
+
+Before feeding a click graph to the similarity algorithms we check the
+structural invariants the paper's definitions rely on: bipartiteness is
+enforced by construction, but weights can still be inconsistent when graphs
+are assembled from external files (clicks exceeding impressions, negative
+expected click rates, self-inconsistent adjacency, dangling nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.graph.click_graph import ClickGraph
+
+__all__ = ["ValidationIssue", "validate_click_graph"]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One problem found in a click graph."""
+
+    severity: str  # "error" or "warning"
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.code}: {self.message}"
+
+
+def validate_click_graph(
+    graph: ClickGraph,
+    allow_isolated_nodes: bool = True,
+    max_expected_click_rate: float = 1.0,
+) -> List[ValidationIssue]:
+    """Check a click graph and return the list of issues found.
+
+    An empty list means the graph is clean.  ``EdgeStats`` already rejects
+    locally inconsistent weights at construction time; this function covers
+    graph-level issues and weight ranges.
+    """
+    issues: List[ValidationIssue] = []
+
+    for query, ad, stats in graph.edges():
+        if stats.clicks == 0:
+            issues.append(
+                ValidationIssue(
+                    severity="error",
+                    code="zero-click-edge",
+                    message=(
+                        f"edge ({query!r}, {ad!r}) has zero clicks; the click graph only "
+                        "contains edges with at least one click"
+                    ),
+                )
+            )
+        if stats.expected_click_rate > max_expected_click_rate:
+            issues.append(
+                ValidationIssue(
+                    severity="warning",
+                    code="ecr-above-max",
+                    message=(
+                        f"edge ({query!r}, {ad!r}) has expected click rate "
+                        f"{stats.expected_click_rate:.4f} > {max_expected_click_rate}"
+                    ),
+                )
+            )
+        if stats.impressions > 0 and stats.expected_click_rate == 0:
+            issues.append(
+                ValidationIssue(
+                    severity="warning",
+                    code="zero-ecr",
+                    message=(
+                        f"edge ({query!r}, {ad!r}) has clicks but a zero expected click "
+                        "rate; weighted SimRank will ignore it"
+                    ),
+                )
+            )
+
+    if not allow_isolated_nodes:
+        for query in graph.queries():
+            if graph.query_degree(query) == 0:
+                issues.append(
+                    ValidationIssue(
+                        severity="warning",
+                        code="isolated-query",
+                        message=f"query {query!r} has no incident edges",
+                    )
+                )
+        for ad in graph.ads():
+            if graph.ad_degree(ad) == 0:
+                issues.append(
+                    ValidationIssue(
+                        severity="warning",
+                        code="isolated-ad",
+                        message=f"ad {ad!r} has no incident edges",
+                    )
+                )
+
+    if graph.num_edges == 0 and graph.num_nodes > 0:
+        issues.append(
+            ValidationIssue(
+                severity="warning",
+                code="empty-edge-set",
+                message="graph has nodes but no edges; similarity scores will all be zero",
+            )
+        )
+
+    return issues

@@ -1,0 +1,37 @@
+"""Local graph partitioning (paper reference [1], Andersen-Chung-Lang 2006).
+
+The paper decomposes the giant connected component of the Yahoo! click graph
+into five manageable subgraphs using the local partitioning algorithm of
+Andersen, Chung and Lang, which computes approximate personalized PageRank
+vectors with the *push* procedure and then sweeps over them looking for a cut
+of small conductance near the starting node.
+
+This package implements that substrate from scratch:
+
+* :mod:`repro.partition.pagerank` -- exact (power iteration) and approximate
+  (push) personalized PageRank on the bipartite click graph,
+* :mod:`repro.partition.conductance` -- cut conductance and sweep cuts,
+* :mod:`repro.partition.nibble` -- the PageRank-Nibble local partitioner,
+* :mod:`repro.partition.extraction` -- iterative extraction of several
+  disjoint subgraphs as done for Table 5.
+"""
+
+from repro.partition.conductance import conductance, sweep_cut, volume
+from repro.partition.extraction import ExtractionResult, extract_subgraphs
+from repro.partition.nibble import NibbleResult, pagerank_nibble
+from repro.partition.pagerank import (
+    approximate_personalized_pagerank,
+    personalized_pagerank,
+)
+
+__all__ = [
+    "conductance",
+    "sweep_cut",
+    "volume",
+    "ExtractionResult",
+    "extract_subgraphs",
+    "NibbleResult",
+    "pagerank_nibble",
+    "approximate_personalized_pagerank",
+    "personalized_pagerank",
+]

@@ -1,0 +1,63 @@
+"""PageRank-Nibble: local partitioning around a seed node.
+
+Combines the approximate personalized PageRank push procedure with a sweep
+cut to find a low-conductance set of nodes near a starting node, exactly as
+the paper's subgraph-extraction step does (Section 9.2, reference [1]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Set
+
+from repro.graph.click_graph import ClickGraph
+from repro.partition.conductance import sweep_cut
+from repro.partition.pagerank import GraphNode, approximate_personalized_pagerank
+
+__all__ = ["NibbleResult", "pagerank_nibble"]
+
+
+@dataclass(frozen=True)
+class NibbleResult:
+    """Outcome of one local partitioning run."""
+
+    seed: GraphNode
+    nodes: Set[GraphNode] = field(default_factory=set)
+    conductance: float = float("inf")
+
+    @property
+    def queries(self) -> Set:
+        """Query identifiers in the extracted set."""
+        return {name for kind, name in self.nodes if kind == "query"}
+
+    @property
+    def ads(self) -> Set:
+        """Ad identifiers in the extracted set."""
+        return {name for kind, name in self.nodes if kind == "ad"}
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+
+def pagerank_nibble(
+    graph: ClickGraph,
+    seed: GraphNode,
+    alpha: float = 0.15,
+    epsilon: float = 1e-4,
+    max_size: int = 0,
+) -> NibbleResult:
+    """Run PageRank-Nibble from ``seed`` and return the best local cluster.
+
+    ``epsilon`` controls the accuracy/locality trade-off of the push
+    procedure: smaller values explore a larger neighbourhood of the seed and
+    can return bigger clusters.  ``max_size`` caps the sweep prefix length.
+    """
+    scores = approximate_personalized_pagerank(
+        graph, seed, alpha=alpha, epsilon=epsilon
+    )
+    nodes, phi = sweep_cut(graph, scores, max_size=max_size)
+    if not nodes:
+        nodes = {seed}
+        phi = float("inf")
+    return NibbleResult(seed=seed, nodes=nodes, conductance=phi)

@@ -1,0 +1,48 @@
+"""Sponsored-search serving simulator.
+
+The paper's click graph is a by-product of a production serving system
+(Figures 1 and 2): a *front-end* rewrites incoming queries, a *back-end*
+selects and ranks ads with bids on the query or its rewrites, users click on
+some of the displayed ads, and the logs of those impressions and clicks are
+aggregated into the click graph.
+
+This package simulates that whole loop so the library can exercise the same
+data path end to end without Yahoo!'s infrastructure:
+
+* :mod:`repro.search.ads` / :mod:`repro.search.bids` -- the ad and bid
+  databases,
+* :mod:`repro.search.click_model` -- a position-biased click model,
+* :mod:`repro.search.user_model` -- topical users who decide which displayed
+  ads are relevant,
+* :mod:`repro.search.backend` -- ad selection, ranking and expected-click-rate
+  estimation,
+* :mod:`repro.search.frontend` -- query rewriting in front of the back-end,
+* :mod:`repro.search.system` -- the full serving loop that turns a traffic
+  stream into impression logs and a click graph.
+"""
+
+from repro.search.ads import Ad, AdDatabase
+from repro.search.backend import AdPlacement, Backend, ServedPage
+from repro.search.bids import Bid, BidDatabase
+from repro.search.click_model import PositionBiasedClickModel
+from repro.search.frontend import FrontEnd
+from repro.search.query_log import ClickLogRecord, QueryLog
+from repro.search.system import ServingReport, SponsoredSearchSystem
+from repro.search.user_model import TopicalUserModel
+
+__all__ = [
+    "Ad",
+    "AdDatabase",
+    "AdPlacement",
+    "Backend",
+    "ServedPage",
+    "Bid",
+    "BidDatabase",
+    "PositionBiasedClickModel",
+    "FrontEnd",
+    "ClickLogRecord",
+    "QueryLog",
+    "ServingReport",
+    "SponsoredSearchSystem",
+    "TopicalUserModel",
+]

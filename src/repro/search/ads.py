@@ -1,0 +1,86 @@
+"""The ad database of the sponsored-search back-end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional
+
+__all__ = ["Ad", "AdDatabase"]
+
+
+@dataclass(frozen=True)
+class Ad:
+    """One advertisement.
+
+    ``topic`` is the vertical the ad belongs to (ground truth used only by
+    the simulated user model -- the serving system never ranks on it).
+    """
+
+    ad_id: str
+    advertiser: str
+    landing_page: str
+    topic: Optional[str] = None
+    text: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.ad_id:
+            raise ValueError("ad_id must be non-empty")
+
+
+class AdDatabase:
+    """In-memory store of ads indexed by id, advertiser and topic."""
+
+    def __init__(self, ads: Iterable[Ad] = ()) -> None:
+        self._by_id: Dict[str, Ad] = {}
+        self._by_advertiser: Dict[str, List[str]] = {}
+        self._by_topic: Dict[str, List[str]] = {}
+        for ad in ads:
+            self.add(ad)
+
+    def add(self, ad: Ad) -> None:
+        """Register an ad; re-adding an existing id raises ``ValueError``."""
+        if ad.ad_id in self._by_id:
+            raise ValueError(f"duplicate ad id {ad.ad_id!r}")
+        self._by_id[ad.ad_id] = ad
+        self._by_advertiser.setdefault(ad.advertiser, []).append(ad.ad_id)
+        if ad.topic is not None:
+            self._by_topic.setdefault(ad.topic, []).append(ad.ad_id)
+
+    def get(self, ad_id: str) -> Ad:
+        return self._by_id[ad_id]
+
+    def __contains__(self, ad_id: str) -> bool:
+        return ad_id in self._by_id
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[Ad]:
+        return iter(self._by_id.values())
+
+    def by_advertiser(self, advertiser: str) -> List[Ad]:
+        return [self._by_id[ad_id] for ad_id in self._by_advertiser.get(advertiser, [])]
+
+    def by_topic(self, topic: str) -> List[Ad]:
+        return [self._by_id[ad_id] for ad_id in self._by_topic.get(topic, [])]
+
+    @classmethod
+    def from_workload_ads(cls, ad_topics: Dict[str, str]) -> "AdDatabase":
+        """Build an ad database from the synthetic workload's ad -> topic map.
+
+        The synthetic ad identifiers look like ``"brand.com/term-3"``; the
+        advertiser is the part before the slash.
+        """
+        database = cls()
+        for ad_id, topic in ad_topics.items():
+            advertiser = str(ad_id).split("/", 1)[0]
+            database.add(
+                Ad(
+                    ad_id=str(ad_id),
+                    advertiser=advertiser,
+                    landing_page=str(ad_id),
+                    topic=topic,
+                    text=str(ad_id).replace("/", " ").replace("-", " "),
+                )
+            )
+        return database

@@ -1,0 +1,135 @@
+"""The sponsored-search back-end: ad selection, ranking and ECR estimation.
+
+Given a query and its rewrites, the back-end collects every bid placed on any
+of them, ranks the candidate ads by (bid price x estimated click rate) and
+fills the available ad slots.  It also maintains the per-(query, ad)
+expected-click-rate estimate that becomes the third weight of each click
+graph edge (Section 2): observed clicks divided by the examination mass of
+the positions where the ad was shown.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.search.ads import AdDatabase
+from repro.search.bids import Bid, BidDatabase
+from repro.search.click_model import PositionBiasedClickModel
+
+__all__ = ["AdPlacement", "ServedPage", "Backend"]
+
+
+@dataclass(frozen=True)
+class AdPlacement:
+    """One ad slot on a served page."""
+
+    ad_id: str
+    position: int
+    bid_price: float
+    matched_query: str
+
+
+@dataclass
+class ServedPage:
+    """The ads chosen for one incoming query."""
+
+    query: str
+    placements: List[AdPlacement] = field(default_factory=list)
+
+    @property
+    def num_ads(self) -> int:
+        return len(self.placements)
+
+
+class Backend:
+    """Selects and ranks ads, and tracks click statistics for ECR estimates."""
+
+    def __init__(
+        self,
+        ads: AdDatabase,
+        bids: BidDatabase,
+        click_model: Optional[PositionBiasedClickModel] = None,
+        num_slots: int = 4,
+        default_click_rate: float = 0.05,
+    ) -> None:
+        if num_slots < 1:
+            raise ValueError("num_slots must be at least 1")
+        self.ads = ads
+        self.bids = bids
+        self.click_model = click_model or PositionBiasedClickModel()
+        self.num_slots = num_slots
+        self.default_click_rate = default_click_rate
+        # Per (query, ad): observed clicks and accumulated examination mass.
+        self._clicks: Dict[Tuple[str, str], int] = defaultdict(int)
+        self._examinations: Dict[Tuple[str, str], float] = defaultdict(float)
+        self._impressions: Dict[Tuple[str, str], int] = defaultdict(int)
+
+    # ----------------------------------------------------------------- serve
+
+    def serve(self, query: str, rewrites: Sequence[str] = ()) -> ServedPage:
+        """Choose ads for a query and its rewrites, best-ranked first.
+
+        Candidate ads are everything with a bid on the query or any rewrite;
+        they are ranked by bid price times the current expected click rate of
+        the (incoming query, ad) pair, with each ad shown at most once.
+        """
+        candidates: List[Tuple[float, Bid, str]] = []
+        for matched in [query, *rewrites]:
+            for bid in self.bids.bids_for(matched):
+                ecr = self.expected_click_rate(query, bid.ad_id)
+                candidates.append((bid.price * ecr, bid, matched))
+        candidates.sort(key=lambda item: (-item[0], item[1].ad_id))
+
+        page = ServedPage(query=query)
+        shown = set()
+        for _, bid, matched in candidates:
+            if bid.ad_id in shown:
+                continue
+            if bid.ad_id not in self.ads:
+                continue
+            shown.add(bid.ad_id)
+            page.placements.append(
+                AdPlacement(
+                    ad_id=bid.ad_id,
+                    position=len(page.placements) + 1,
+                    bid_price=bid.price,
+                    matched_query=matched,
+                )
+            )
+            if len(page.placements) >= self.num_slots:
+                break
+        return page
+
+    # ------------------------------------------------------------- feedback
+
+    def record_impression(self, query: str, ad_id: str, position: int, clicked: bool) -> None:
+        """Update click statistics after a page has been shown to a user."""
+        key = (query, ad_id)
+        self._impressions[key] += 1
+        self._examinations[key] += self.click_model.examination_probability(position)
+        if clicked:
+            self._clicks[key] += 1
+
+    def expected_click_rate(self, query: str, ad_id: str) -> float:
+        """Position-debiased click-rate estimate for a (query, ad) pair.
+
+        Falls back to ``default_click_rate`` before any data is observed so
+        newly bid ads are not starved of impressions.
+        """
+        key = (query, ad_id)
+        examinations = self._examinations.get(key, 0.0)
+        if examinations <= 0:
+            return self.default_click_rate
+        return min(1.0, self._clicks.get(key, 0) / examinations)
+
+    def impressions(self, query: str, ad_id: str) -> int:
+        return self._impressions.get((query, ad_id), 0)
+
+    def clicks(self, query: str, ad_id: str) -> int:
+        return self._clicks.get((query, ad_id), 0)
+
+    def observed_pairs(self) -> List[Tuple[str, str]]:
+        """All (query, ad) pairs that received at least one impression."""
+        return list(self._impressions)

@@ -1,0 +1,58 @@
+"""The bid database of the sponsored-search back-end.
+
+Conceptually each bid is a ``(query, ad, price)`` triple: the advertiser
+offers to pay ``price`` if the ad is displayed for ``query`` and clicked
+(paper Section 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Set
+
+__all__ = ["Bid", "BidDatabase"]
+
+
+@dataclass(frozen=True)
+class Bid:
+    """One bid: an advertiser offers ``price`` for a click on ``ad_id`` shown for ``query``."""
+
+    query: str
+    ad_id: str
+    price: float
+
+    def __post_init__(self) -> None:
+        if self.price <= 0:
+            raise ValueError(f"bid price must be positive, got {self.price}")
+
+
+class BidDatabase:
+    """Bids indexed by query, supporting the bid-term filter of Section 9.3."""
+
+    def __init__(self, bids: Iterable[Bid] = ()) -> None:
+        self._by_query: Dict[str, List[Bid]] = {}
+        self._count = 0
+        for bid in bids:
+            self.add(bid)
+
+    def add(self, bid: Bid) -> None:
+        self._by_query.setdefault(bid.query, []).append(bid)
+        self._count += 1
+
+    def bids_for(self, query: str) -> List[Bid]:
+        """All bids placed on a query (highest price first)."""
+        return sorted(self._by_query.get(query, []), key=lambda bid: -bid.price)
+
+    def has_bids(self, query: str) -> bool:
+        return bool(self._by_query.get(query))
+
+    def bid_terms(self) -> Set[str]:
+        """The set of queries with at least one bid (the paper's bid-term list)."""
+        return set(self._by_query)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[Bid]:
+        for bids in self._by_query.values():
+            yield from bids

@@ -1,0 +1,65 @@
+"""Position-biased click model.
+
+An ad near the top of the sponsored results is more likely to be clicked
+regardless of how relevant it is (paper Section 2) -- which is why the
+back-end maintains a position-adjusted *expected click rate* instead of raw
+clicks over impressions.  The examination model used here is the standard
+cascade-free position model: the user examines position ``p`` with
+probability ``examination(p)`` and clicks an examined ad with a probability
+equal to its relevance to the user's intent.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Sequence
+
+__all__ = ["PositionBiasedClickModel"]
+
+
+class PositionBiasedClickModel:
+    """Examination probabilities decaying with display position."""
+
+    def __init__(self, decay: float = 0.65, max_positions: int = 8) -> None:
+        """``examination(p) = decay ** (p - 1)`` for positions 1..max_positions."""
+        if not 0 < decay <= 1:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        if max_positions < 1:
+            raise ValueError("max_positions must be at least 1")
+        self.decay = decay
+        self.max_positions = max_positions
+
+    def examination_probability(self, position: int) -> float:
+        """Probability that the user even looks at the ad in this position."""
+        if position < 1:
+            raise ValueError("positions are 1-based")
+        if position > self.max_positions:
+            return 0.0
+        return self.decay ** (position - 1)
+
+    def examination_prior(self) -> Dict[int, float]:
+        """Position -> examination probability, for the ECR estimator."""
+        return {
+            position: self.examination_probability(position)
+            for position in range(1, self.max_positions + 1)
+        }
+
+    def click_probability(self, position: int, relevance: float) -> float:
+        """Probability of a click: examination times relevance."""
+        if not 0 <= relevance <= 1:
+            raise ValueError(f"relevance must be in [0, 1], got {relevance}")
+        return self.examination_probability(position) * relevance
+
+    def simulate_click(
+        self, position: int, relevance: float, rng: Optional[random.Random] = None
+    ) -> bool:
+        """Draw whether a displayed ad gets clicked."""
+        rng = rng or random.Random()
+        return rng.random() < self.click_probability(position, relevance)
+
+    def expected_clicks(self, relevances_by_position: Sequence[float]) -> float:
+        """Expected number of clicks on a whole result page."""
+        return sum(
+            self.click_probability(position, relevance)
+            for position, relevance in enumerate(relevances_by_position, start=1)
+        )

@@ -1,0 +1,32 @@
+"""The sponsored-search front-end.
+
+The front-end receives an incoming query and produces a list of rewrites that
+the back-end should also consider when looking for bids (paper Figure 2).
+It wraps a :class:`repro.core.rewriter.QueryRewriter`; when no rewriter is
+configured it passes queries through unchanged, which models the system
+before click-graph-based rewriting is deployed (useful for bootstrapping the
+first click graph).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.rewriter import QueryRewriter
+
+__all__ = ["FrontEnd"]
+
+
+class FrontEnd:
+    """Produces rewrites for incoming queries."""
+
+    def __init__(self, rewriter: Optional[QueryRewriter] = None, max_rewrites: int = 5) -> None:
+        self.rewriter = rewriter
+        self.max_rewrites = max_rewrites
+
+    def rewrites(self, query: str) -> List[str]:
+        """Rewrites to forward to the back-end alongside the original query."""
+        if self.rewriter is None:
+            return []
+        rewrite_list = self.rewriter.rewrites_for(query)
+        return [str(rewrite.rewrite) for rewrite in rewrite_list.top(self.max_rewrites)]

@@ -1,0 +1,80 @@
+"""Serving logs: the raw material of the click graph."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterator, List, Union
+
+from repro.graph.builders import ImpressionRecord
+
+__all__ = ["ClickLogRecord", "QueryLog"]
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class ClickLogRecord:
+    """One displayed ad: which query triggered it, where, and whether it was clicked."""
+
+    query: str
+    ad_id: str
+    position: int
+    clicked: bool
+    #: Which query (the original or a rewrite) actually matched the bid.
+    matched_query: str = ""
+
+    def to_impression(self) -> ImpressionRecord:
+        """Convert to the click-graph builder's impression record."""
+        return ImpressionRecord(
+            query=self.query, ad=self.ad_id, position=self.position, clicked=self.clicked
+        )
+
+
+class QueryLog:
+    """Append-only impression/click log with JSONL persistence."""
+
+    def __init__(self) -> None:
+        self._records: List[ClickLogRecord] = []
+
+    def append(self, record: ClickLogRecord) -> None:
+        self._records.append(record)
+
+    def extend(self, records) -> None:
+        for record in records:
+            self.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[ClickLogRecord]:
+        return iter(self._records)
+
+    def impressions(self) -> Iterator[ImpressionRecord]:
+        """Iterate the log as click-graph builder records."""
+        for record in self._records:
+            yield record.to_impression()
+
+    def click_count(self) -> int:
+        return sum(1 for record in self._records if record.clicked)
+
+    # ----------------------------------------------------------- persistence
+
+    def write_jsonl(self, path: PathLike) -> int:
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self._records:
+                handle.write(json.dumps(asdict(record)) + "\n")
+        return len(self._records)
+
+    @classmethod
+    def read_jsonl(cls, path: PathLike) -> "QueryLog":
+        log = cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                payload = json.loads(line)
+                log.append(ClickLogRecord(**payload))
+        return log

@@ -1,0 +1,105 @@
+"""The full sponsored-search serving loop.
+
+:class:`SponsoredSearchSystem` ties the front-end, back-end, user model and
+click model together: it consumes a traffic stream of queries, serves ads for
+each, simulates user clicks, logs every impression, and finally aggregates
+the log into a click graph -- the same data path that produced the paper's
+two-week Yahoo! graph.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.graph.builders import build_click_graph_from_log
+from repro.graph.click_graph import ClickGraph
+from repro.search.backend import Backend
+from repro.search.click_model import PositionBiasedClickModel
+from repro.search.frontend import FrontEnd
+from repro.search.query_log import ClickLogRecord, QueryLog
+from repro.search.user_model import TopicalUserModel
+
+__all__ = ["ServingReport", "SponsoredSearchSystem"]
+
+
+@dataclass
+class ServingReport:
+    """Summary of one serving run."""
+
+    queries_served: int
+    impressions: int
+    clicks: int
+
+    @property
+    def click_through_rate(self) -> float:
+        if self.impressions == 0:
+            return 0.0
+        return self.clicks / self.impressions
+
+
+class SponsoredSearchSystem:
+    """Front-end + back-end + simulated users, producing logs and click graphs."""
+
+    def __init__(
+        self,
+        backend: Backend,
+        user_model: TopicalUserModel,
+        frontend: Optional[FrontEnd] = None,
+        click_model: Optional[PositionBiasedClickModel] = None,
+        seed: int = 23,
+    ) -> None:
+        self.backend = backend
+        self.frontend = frontend or FrontEnd()
+        self.user_model = user_model
+        self.click_model = click_model or backend.click_model
+        self.log = QueryLog()
+        self._rng = random.Random(seed)
+
+    # ----------------------------------------------------------------- serve
+
+    def serve_query(self, query: str) -> int:
+        """Serve one query, simulate clicks, log everything; returns clicks."""
+        rewrites = self.frontend.rewrites(query)
+        page = self.backend.serve(query, rewrites)
+        clicks = 0
+        for placement in page.placements:
+            relevance = self.user_model.relevance(query, placement.ad_id, self._rng)
+            clicked = self.click_model.simulate_click(placement.position, relevance, self._rng)
+            clicks += int(clicked)
+            self.backend.record_impression(query, placement.ad_id, placement.position, clicked)
+            self.log.append(
+                ClickLogRecord(
+                    query=query,
+                    ad_id=placement.ad_id,
+                    position=placement.position,
+                    clicked=clicked,
+                    matched_query=placement.matched_query,
+                )
+            )
+        return clicks
+
+    def serve_traffic(self, traffic: Iterable[str]) -> ServingReport:
+        """Serve a whole traffic stream."""
+        queries_served = 0
+        clicks = 0
+        impressions_before = len(self.log)
+        for query in traffic:
+            queries_served += 1
+            clicks += self.serve_query(query)
+        return ServingReport(
+            queries_served=queries_served,
+            impressions=len(self.log) - impressions_before,
+            clicks=clicks,
+        )
+
+    # ------------------------------------------------------------ aggregation
+
+    def build_click_graph(self, min_clicks: int = 1) -> ClickGraph:
+        """Aggregate the accumulated log into a click graph."""
+        return build_click_graph_from_log(
+            self.log.impressions(),
+            position_prior=self.click_model.examination_prior(),
+            min_clicks=min_clicks,
+        )

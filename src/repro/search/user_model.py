@@ -1,0 +1,60 @@
+"""Simulated users.
+
+A user who issues a query has a topical intent (the query's ground-truth
+topic).  The probability that a displayed ad is *relevant* to that intent
+depends on how the ad's topic relates to the query's topic: same topic is
+very likely relevant, a related topic sometimes is (a camera buyer may want a
+spare battery), an unrelated topic almost never is.  The click model then
+converts relevance and display position into clicks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.synth.topics import TopicModel, TopicRelation
+
+__all__ = ["TopicalUserModel"]
+
+
+class TopicalUserModel:
+    """Relevance of ads to queries derived from the ground-truth topic model."""
+
+    def __init__(
+        self,
+        topic_model: TopicModel,
+        query_topics: Dict[str, str],
+        ad_topics: Dict[str, str],
+        same_topic_relevance: float = 0.65,
+        related_topic_relevance: float = 0.25,
+        unrelated_relevance: float = 0.02,
+        noise: float = 0.05,
+        seed: int = 17,
+    ) -> None:
+        self.topic_model = topic_model
+        self.query_topics = query_topics
+        self.ad_topics = ad_topics
+        self.same_topic_relevance = same_topic_relevance
+        self.related_topic_relevance = related_topic_relevance
+        self.unrelated_relevance = unrelated_relevance
+        self.noise = noise
+        self._rng = random.Random(seed)
+
+    def relevance(self, query: str, ad_id: str, rng: Optional[random.Random] = None) -> float:
+        """Probability in [0, 1] that the ad satisfies the query's intent."""
+        rng = rng or self._rng
+        query_topic = self.query_topics.get(query)
+        ad_topic = self.ad_topics.get(ad_id)
+        if query_topic is None or ad_topic is None:
+            base = self.unrelated_relevance
+        else:
+            relation = self.topic_model.relation(query_topic, ad_topic)
+            if relation is TopicRelation.SAME:
+                base = self.same_topic_relevance
+            elif relation is TopicRelation.RELATED:
+                base = self.related_topic_relevance
+            else:
+                base = self.unrelated_relevance
+        jitter = rng.uniform(-self.noise, self.noise)
+        return min(1.0, max(0.0, base + jitter))

@@ -1,0 +1,56 @@
+"""Synthetic workload generation.
+
+The paper's evaluation uses a proprietary two-week Yahoo! click graph and a
+standardized query sample.  This package provides the substitute: a
+generator that produces a click graph with the same structural properties
+(bipartite, power-law degree and click distributions, a giant component plus
+smaller ones, impressions / clicks / expected-click-rate edge weights)
+*together with the ground truth* (a topic model over queries and ads) that
+the simulated editorial judge needs to grade rewrites.
+
+:mod:`repro.synth.scenarios` additionally builds the small illustrative
+graphs from the paper's figures (Figure 3, the complete bipartite graphs of
+Figure 4 and the weighted examples of Figures 5/6), which the tests and the
+table benchmarks use directly.
+"""
+
+from repro.synth.generator import (
+    SyntheticWorkload,
+    WorkloadConfig,
+    generate_workload,
+)
+from repro.synth.scenarios import (
+    complete_bipartite_graph,
+    figure3_graph,
+    figure4_graphs,
+    figure5_graphs,
+    figure6_graphs,
+)
+from repro.synth.topics import Topic, TopicModel, TopicRelation
+from repro.synth.vocabulary import DEFAULT_TOPIC_SPECS, build_topic_model
+from repro.synth.yahoo_like import (
+    SMALL_WORKLOAD,
+    MEDIUM_WORKLOAD,
+    TINY_WORKLOAD,
+    yahoo_like_workload,
+)
+
+__all__ = [
+    "SyntheticWorkload",
+    "WorkloadConfig",
+    "generate_workload",
+    "complete_bipartite_graph",
+    "figure3_graph",
+    "figure4_graphs",
+    "figure5_graphs",
+    "figure6_graphs",
+    "Topic",
+    "TopicModel",
+    "TopicRelation",
+    "DEFAULT_TOPIC_SPECS",
+    "build_topic_model",
+    "SMALL_WORKLOAD",
+    "MEDIUM_WORKLOAD",
+    "TINY_WORKLOAD",
+    "yahoo_like_workload",
+]

@@ -1,0 +1,364 @@
+"""Synthetic sponsored-search workload generator.
+
+Substitutes for the proprietary Yahoo! click graph of Section 9.2.  The
+generator produces, from a ground-truth topic model:
+
+* a population of queries (1-3 topic terms each) with Zipf-like popularity,
+* a population of ads (advertiser landing pages per topic),
+* a weighted click graph whose edges mostly connect queries to ads of the
+  same *subtopic* (a fine-grained cluster inside the topic), sometimes to
+  ads of the same broad topic or a related topic, and occasionally to random
+  ads (noise),
+* a simulated traffic stream (queries with repetition, including some queries
+  that never produced clicks, mirroring the paper's 1200-query sample of
+  which only 120 appear in the graph),
+* the set of bid terms (queries that received at least one bid).
+
+Two modelling choices make the synthetic graph behave like the paper's real
+click graph:
+
+1. **Clustered structure.**  Each topic is split into a handful of subtopics
+   and queries click mostly inside their subtopic.  Real click graphs are
+   strongly clustered at a finer granularity than advertising verticals; this
+   is also what lets the indirect structure recover information after the
+   desirability experiment removes a query's direct edges (Figure 12).
+2. **Structured weights.**  Every ad has an intrinsic quality, and an edge's
+   expected click rate is ``base_click_rate * quality(ad) *
+   affinity(query, ad)`` with small multiplicative noise.  Click rates in
+   real data reflect ad quality and topical relevance, and this is the
+   signal weighted SimRank exploits while unweighted SimRank cannot.
+
+Degree and click-count distributions are drawn from discrete power laws, in
+line with the paper's observation that ads-per-query, queries-per-ad and
+clicks per query-ad pair are power-law distributed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.click_graph import ClickGraph, EdgeStats
+from repro.synth.topics import TopicModel, TopicRelation
+from repro.synth.vocabulary import build_topic_model
+
+__all__ = ["WorkloadConfig", "SyntheticWorkload", "generate_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs of the synthetic workload generator."""
+
+    #: Topics to draw from (``None`` = all built-in topics).
+    topic_names: Optional[Tuple[str, ...]] = None
+    #: Queries generated per topic.
+    queries_per_topic: int = 60
+    #: Ads generated per topic.
+    ads_per_topic: int = 40
+    #: Fine-grained clusters inside each topic (e.g. "dslr cameras" inside
+    #: "photography").  Queries and ads are assigned to subtopics uniformly.
+    subtopics_per_topic: int = 4
+    #: Power-law exponent for the number of distinct ads clicked per query.
+    ads_per_query_exponent: float = 2.2
+    #: Maximum number of distinct ads clicked for a single query.
+    max_ads_per_query: int = 12
+    #: Power-law exponent for clicks per query-ad pair.
+    clicks_exponent: float = 2.0
+    #: Maximum clicks on a single query-ad pair.
+    max_clicks: int = 200
+    #: Probability that a click edge goes to an ad of the query's subtopic.
+    same_subtopic_probability: float = 0.55
+    #: Probability that it goes to another subtopic of the same topic.
+    same_topic_probability: float = 0.22
+    #: Probability that it goes to an ad of a related topic.
+    related_topic_probability: float = 0.13
+    #: (Remaining probability goes to a uniformly random ad: noise.)
+    #:
+    #: Edge weights are structured: expected click rate =
+    #: ``base_click_rate * quality(ad) * affinity(query, ad) * noise``.
+    ad_quality_range: Tuple[float, float] = (0.3, 1.0)
+    base_click_rate: float = 0.4
+    same_topic_affinity: float = 0.55
+    related_topic_affinity: float = 0.3
+    unrelated_topic_affinity: float = 0.1
+    #: Multiplicative noise on the expected click rate, uniform in
+    #: ``[1 - ecr_noise, 1 + ecr_noise]``.
+    ecr_noise: float = 0.2
+    #: Fraction of generated queries that receive at least one bid.
+    bid_fraction: float = 0.75
+    #: Length of the simulated traffic stream.
+    traffic_length: int = 20_000
+    #: Fraction of traffic going to "tail" queries that never clicked an ad.
+    unclicked_traffic_fraction: float = 0.25
+    #: Zipf exponent of query popularity in the traffic stream.
+    popularity_exponent: float = 1.1
+    #: Random seed.
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.queries_per_topic < 1 or self.ads_per_topic < 1:
+            raise ValueError("queries_per_topic and ads_per_topic must be positive")
+        if self.subtopics_per_topic < 1:
+            raise ValueError("subtopics_per_topic must be positive")
+        total = (
+            self.same_subtopic_probability
+            + self.same_topic_probability
+            + self.related_topic_probability
+        )
+        if not 0 <= total <= 1:
+            raise ValueError("edge-destination probabilities must sum to at most 1")
+        if not 0 <= self.bid_fraction <= 1:
+            raise ValueError("bid_fraction must be in [0, 1]")
+
+
+@dataclass
+class SyntheticWorkload:
+    """Everything the experiments need: the graph plus its ground truth."""
+
+    click_graph: ClickGraph
+    topic_model: TopicModel
+    query_topics: Dict[str, str]
+    ad_topics: Dict[str, str]
+    bid_terms: Set[str]
+    traffic: List[str]
+    #: Queries that appear in the traffic stream but have no click-graph edges.
+    unclicked_queries: List[str] = field(default_factory=list)
+    #: Fine-grained cluster assignments (topic, subtopic index).
+    query_subtopics: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+    ad_subtopics: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+
+    def topic_of_query(self, query: str) -> Optional[str]:
+        return self.query_topics.get(query)
+
+    def topic_of_ad(self, ad: str) -> Optional[str]:
+        return self.ad_topics.get(ad)
+
+    def relation_between(self, first_query: str, second_query: str) -> TopicRelation:
+        """Ground-truth topical relation between two queries."""
+        first = self.query_topics.get(first_query)
+        second = self.query_topics.get(second_query)
+        if first is None or second is None:
+            return TopicRelation.UNRELATED
+        return self.topic_model.relation(first, second)
+
+
+def generate_workload(config: Optional[WorkloadConfig] = None) -> SyntheticWorkload:
+    """Generate a complete synthetic sponsored-search workload."""
+    config = config or WorkloadConfig()
+    rng = random.Random(config.seed)
+    topic_model = build_topic_model(config.topic_names)
+    topic_names = topic_model.topic_names()
+
+    query_topics, query_subtopics = _generate_queries(topic_model, config, rng)
+    ad_topics, ad_subtopics = _generate_ads(topic_model, config, rng)
+    ads_by_subtopic: Dict[Tuple[str, int], List[str]] = {}
+    ads_by_topic: Dict[str, List[str]] = {name: [] for name in topic_names}
+    for ad, (topic, subtopic) in ad_subtopics.items():
+        ads_by_topic[topic].append(ad)
+        ads_by_subtopic.setdefault((topic, subtopic), []).append(ad)
+
+    graph = _generate_click_graph(
+        query_subtopics, ads_by_topic, ads_by_subtopic, topic_model, config, rng
+    )
+
+    queries = list(query_topics)
+    bid_count = int(round(config.bid_fraction * len(queries)))
+    bid_terms = set(rng.sample(queries, bid_count)) if bid_count else set()
+
+    unclicked_queries = _generate_unclicked_queries(topic_model, config, rng, query_topics)
+    traffic = _generate_traffic(queries, unclicked_queries, config, rng)
+
+    return SyntheticWorkload(
+        click_graph=graph,
+        topic_model=topic_model,
+        query_topics=query_topics,
+        ad_topics=ad_topics,
+        bid_terms=bid_terms,
+        traffic=traffic,
+        unclicked_queries=unclicked_queries,
+        query_subtopics=query_subtopics,
+        ad_subtopics=ad_subtopics,
+    )
+
+
+# ----------------------------------------------------------------- internals
+
+
+def _generate_queries(
+    topic_model: TopicModel, config: WorkloadConfig, rng: random.Random
+) -> Tuple[Dict[str, str], Dict[str, Tuple[str, int]]]:
+    """Query string -> topic, and query string -> (topic, subtopic index)."""
+    query_topics: Dict[str, str] = {}
+    query_subtopics: Dict[str, Tuple[str, int]] = {}
+    for topic_name in topic_model.topic_names():
+        terms = list(topic_model.topic(topic_name).terms)
+        produced = 0
+        attempts = 0
+        while produced < config.queries_per_topic and attempts < config.queries_per_topic * 20:
+            attempts += 1
+            length = rng.choices([1, 2, 3], weights=[0.3, 0.5, 0.2])[0]
+            length = min(length, len(terms))
+            chosen = rng.sample(terms, length)
+            query = " ".join(chosen)
+            if query in query_topics:
+                continue
+            query_topics[query] = topic_name
+            query_subtopics[query] = (topic_name, rng.randrange(config.subtopics_per_topic))
+            produced += 1
+    return query_topics, query_subtopics
+
+
+def _generate_ads(
+    topic_model: TopicModel, config: WorkloadConfig, rng: random.Random
+) -> Tuple[Dict[str, str], Dict[str, Tuple[str, int]]]:
+    """Ad identifier -> topic, and ad identifier -> (topic, subtopic index)."""
+    ad_topics: Dict[str, str] = {}
+    ad_subtopics: Dict[str, Tuple[str, int]] = {}
+    for topic_name in topic_model.topic_names():
+        topic = topic_model.topic(topic_name)
+        for index in range(config.ads_per_topic):
+            brand = topic.brands[index % len(topic.brands)]
+            term = topic.terms[index % len(topic.terms)]
+            ad = f"{brand}/{term}-{index}"
+            ad_topics[ad] = topic_name
+            ad_subtopics[ad] = (topic_name, index % config.subtopics_per_topic)
+    return ad_topics, ad_subtopics
+
+
+def _power_law_int(rng: random.Random, exponent: float, maximum: int) -> int:
+    """Draw an integer >= 1 from a truncated discrete power law ``P(k) ~ k^-exponent``."""
+    weights = [k ** (-exponent) for k in range(1, maximum + 1)]
+    return rng.choices(range(1, maximum + 1), weights=weights)[0]
+
+
+def _generate_click_graph(
+    query_subtopics: Dict[str, Tuple[str, int]],
+    ads_by_topic: Dict[str, List[str]],
+    ads_by_subtopic: Dict[Tuple[str, int], List[str]],
+    topic_model: TopicModel,
+    config: WorkloadConfig,
+    rng: random.Random,
+) -> ClickGraph:
+    graph = ClickGraph()
+    all_ads = [ad for ads in ads_by_topic.values() for ad in ads]
+    quality_low, quality_high = config.ad_quality_range
+    ad_quality = {ad: rng.uniform(quality_low, quality_high) for ad in all_ads}
+    ad_subtopic = {
+        ad: key for key, ads in ads_by_subtopic.items() for ad in ads
+    }
+
+    for query, (topic_name, subtopic) in query_subtopics.items():
+        num_ads = _power_law_int(rng, config.ads_per_query_exponent, config.max_ads_per_query)
+        chosen: Set[str] = set()
+        for _ in range(num_ads):
+            ad = _pick_ad(
+                topic_name, subtopic, ads_by_topic, ads_by_subtopic, topic_model, all_ads, config, rng
+            )
+            if ad in chosen:
+                continue
+            chosen.add(ad)
+            affinity = _affinity(
+                topic_model, (topic_name, subtopic), ad_subtopic[ad], config
+            )
+            ecr = config.base_click_rate * ad_quality[ad] * affinity
+            ecr *= rng.uniform(1 - config.ecr_noise, 1 + config.ecr_noise)
+            ecr = min(0.95, max(0.005, ecr))
+            raw_clicks = _power_law_int(rng, config.clicks_exponent, config.max_clicks)
+            clicks = max(1, int(round(raw_clicks * ad_quality[ad] * affinity)))
+            impressions = max(clicks, int(round(clicks / max(ecr, 1e-6))))
+            graph.add_edge_stats(
+                query,
+                ad,
+                EdgeStats(impressions=impressions, clicks=clicks, expected_click_rate=ecr),
+                merge=True,
+            )
+    return graph
+
+
+def _affinity(
+    topic_model: TopicModel,
+    query_subtopic: Tuple[str, int],
+    ad_subtopic: Tuple[str, int],
+    config: WorkloadConfig,
+) -> float:
+    """Ground-truth affinity driving click rates (subtopic > topic > related)."""
+    query_topic, query_cluster = query_subtopic
+    ad_topic, ad_cluster = ad_subtopic
+    if query_topic == ad_topic:
+        if query_cluster == ad_cluster:
+            return 1.0
+        return config.same_topic_affinity
+    relation = topic_model.relation(query_topic, ad_topic)
+    if relation is TopicRelation.RELATED:
+        return config.related_topic_affinity
+    return config.unrelated_topic_affinity
+
+
+def _pick_ad(
+    topic_name: str,
+    subtopic: int,
+    ads_by_topic: Dict[str, List[str]],
+    ads_by_subtopic: Dict[Tuple[str, int], List[str]],
+    topic_model: TopicModel,
+    all_ads: List[str],
+    config: WorkloadConfig,
+    rng: random.Random,
+) -> str:
+    """Choose an ad for a query of ``(topic_name, subtopic)``."""
+    draw = rng.random()
+    same_subtopic = ads_by_subtopic.get((topic_name, subtopic), [])
+    if draw < config.same_subtopic_probability and same_subtopic:
+        return rng.choice(same_subtopic)
+    threshold = config.same_subtopic_probability + config.same_topic_probability
+    if draw < threshold and ads_by_topic[topic_name]:
+        return rng.choice(ads_by_topic[topic_name])
+    related = topic_model.related_topics(topic_name)
+    if draw < threshold + config.related_topic_probability and related:
+        related_topic = rng.choice(related)
+        if ads_by_topic[related_topic]:
+            return rng.choice(ads_by_topic[related_topic])
+    return rng.choice(all_ads)
+
+
+def _generate_unclicked_queries(
+    topic_model: TopicModel,
+    config: WorkloadConfig,
+    rng: random.Random,
+    existing: Dict[str, str],
+) -> List[str]:
+    """Tail queries that appear in traffic but never clicked a sponsored ad."""
+    unclicked: List[str] = []
+    names = topic_model.topic_names()
+    target = max(1, int(len(existing) * config.unclicked_traffic_fraction))
+    attempts = 0
+    while len(unclicked) < target and attempts < target * 50:
+        attempts += 1
+        topic = topic_model.topic(rng.choice(names))
+        terms = rng.sample(list(topic.terms), min(3, len(topic.terms)))
+        query = " ".join(terms) + f" {rng.randrange(1000, 9999)}"
+        if query not in existing:
+            unclicked.append(query)
+    return unclicked
+
+
+def _generate_traffic(
+    queries: Sequence[str],
+    unclicked: Sequence[str],
+    config: WorkloadConfig,
+    rng: random.Random,
+) -> List[str]:
+    """Popularity-weighted traffic stream over clicked + unclicked queries."""
+    if not queries:
+        return []
+    ranked = list(queries)
+    rng.shuffle(ranked)
+    weights = [1.0 / (rank + 1) ** config.popularity_exponent for rank in range(len(ranked))]
+    clicked_share = 1.0 - config.unclicked_traffic_fraction
+    traffic: List[str] = []
+    for _ in range(config.traffic_length):
+        if unclicked and rng.random() > clicked_share:
+            traffic.append(rng.choice(list(unclicked)))
+        else:
+            traffic.append(rng.choices(ranked, weights=weights)[0])
+    return traffic

@@ -1,0 +1,132 @@
+"""The paper's illustrative click graphs as ready-made fixtures.
+
+* :func:`figure3_graph` -- the unweighted sample graph of Figure 3 ("pc",
+  "camera", "digital camera", "tv", "flower" and their ads), used for
+  Tables 1 and 2.
+* :func:`figure4_graphs` -- the complete bipartite fragments of Figure 4
+  (``K_{2,2}`` for "camera"/"digital camera" and ``K_{1,2}`` for
+  "pc"/"camera"), used for Tables 3 and 4.
+* :func:`figure5_graphs` / :func:`figure6_graphs` -- the weighted examples
+  motivating the consistency rules of Section 8.
+* :func:`complete_bipartite_graph` -- an arbitrary ``K_{m,n}`` click graph
+  for the theorem-checking property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.graph.click_graph import ClickGraph
+
+__all__ = [
+    "figure3_graph",
+    "figure4_graphs",
+    "figure5_graphs",
+    "figure6_graphs",
+    "complete_bipartite_graph",
+]
+
+#: Node names used by the Figure 3 sample graph.
+FIGURE3_QUERIES = ("pc", "camera", "digital camera", "tv", "flower")
+FIGURE3_ADS = ("hp.com", "bestbuy.com", "teleflora.com", "orchids.com")
+
+
+def figure3_graph() -> ClickGraph:
+    """The unweighted sample click graph of Figure 3.
+
+    Edges are chosen so that the similarity scores the paper reports in
+    Tables 1 and 2 are reproduced exactly:
+
+    * "pc" and "camera" share one ad (hp.com);
+    * "camera" and "digital camera" share two ads (hp.com, bestbuy.com);
+    * "tv" connects to bestbuy.com only, so it shares an ad with "camera" and
+      "digital camera" but not with "pc";
+    * "flower" connects to the two florist ads and shares nothing with the
+      electronics queries.
+    """
+    graph = ClickGraph()
+    edges = [
+        ("pc", "hp.com"),
+        ("camera", "hp.com"),
+        ("camera", "bestbuy.com"),
+        ("digital camera", "hp.com"),
+        ("digital camera", "bestbuy.com"),
+        ("tv", "bestbuy.com"),
+        ("flower", "teleflora.com"),
+        ("flower", "orchids.com"),
+    ]
+    for query, ad in edges:
+        graph.add_edge(query, ad, impressions=1, clicks=1)
+    return graph
+
+
+def figure4_graphs() -> Tuple[ClickGraph, ClickGraph]:
+    """The two complete bipartite fragments of Figure 4.
+
+    Returns ``(k22, k12)`` where ``k22`` connects "camera" and
+    "digital camera" to both "hp.com" and "bestbuy.com", and ``k12``
+    connects "pc" and "camera" to the single ad "hp.com".
+    """
+    k22 = ClickGraph()
+    for query in ("camera", "digital camera"):
+        for ad in ("hp.com", "bestbuy.com"):
+            k22.add_edge(query, ad, impressions=1, clicks=1)
+    k12 = ClickGraph()
+    for query in ("pc", "camera"):
+        k12.add_edge(query, "hp.com", impressions=1, clicks=1)
+    return k22, k12
+
+
+def figure5_graphs() -> Tuple[ClickGraph, ClickGraph]:
+    """The weighted graphs of Figure 5 (equal vs very unequal click counts).
+
+    In the left graph "flower" and "orchids" both bring 100 clicks to the
+    same ad; in the right graph "flower" brings 100 clicks but "teleflora"
+    only 1.  A consistent similarity measure must score the first pair
+    higher (Definition 8.1(ii): smaller weight variance at the common ad).
+    """
+    balanced = ClickGraph()
+    balanced.add_edge("flower", "flowers-ad", impressions=1000, clicks=100)
+    balanced.add_edge("orchids", "flowers-ad", impressions=1000, clicks=100)
+
+    skewed = ClickGraph()
+    skewed.add_edge("flower", "flowers-ad", impressions=1000, clicks=100)
+    skewed.add_edge("teleflora", "flowers-ad", impressions=1000, clicks=1)
+    return balanced, skewed
+
+
+def figure6_graphs() -> Tuple[ClickGraph, ClickGraph]:
+    """The weighted graphs of Figure 6 (many vs few clicks, equal spread).
+
+    Both graphs have zero weight variance at the shared ad, but the first
+    pair brings far more clicks; a consistent measure must score it higher
+    (Definition 8.1(i): larger absolute weight at equal variance).
+    """
+    heavy = ClickGraph()
+    heavy.add_edge("flower", "flowers-ad", impressions=1000, clicks=100)
+    heavy.add_edge("orchids", "flowers-ad", impressions=1000, clicks=100)
+
+    light = ClickGraph()
+    light.add_edge("flower", "flowers-ad", impressions=1000, clicks=1)
+    light.add_edge("teleflora", "flowers-ad", impressions=1000, clicks=1)
+    return heavy, light
+
+
+def complete_bipartite_graph(
+    num_queries: int,
+    num_ads: int,
+    impressions: int = 1,
+    clicks: int = 1,
+    query_prefix: str = "q",
+    ad_prefix: str = "a",
+) -> ClickGraph:
+    """A ``K_{num_queries, num_ads}`` click graph with uniform edge weights."""
+    if num_queries < 1 or num_ads < 1:
+        raise ValueError("complete bipartite graphs need at least one node per side")
+    graph = ClickGraph()
+    for i in range(num_queries):
+        for j in range(num_ads):
+            graph.add_edge(
+                f"{query_prefix}{i}", f"{ad_prefix}{j}", impressions=impressions, clicks=clicks
+            )
+    return graph

@@ -1,0 +1,105 @@
+"""Ground-truth topic model behind the synthetic workload.
+
+Every synthetic query and ad belongs to a *topic* (e.g. photography,
+computers, flowers).  Topics may be *related* to each other (photography and
+computers are both consumer electronics), which is what the editorial grade 3
+("categorical relationship / complementary product") keys off.  The topic
+model is the ground truth the simulated editorial judge uses; the similarity
+methods never see it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+__all__ = ["Topic", "TopicModel", "TopicRelation"]
+
+
+class TopicRelation(enum.Enum):
+    """Relationship between the topics of two queries."""
+
+    SAME = "same"
+    RELATED = "related"
+    UNRELATED = "unrelated"
+
+
+@dataclass(frozen=True)
+class Topic:
+    """One topic: a name, its vocabulary and a few advertiser brand names."""
+
+    name: str
+    terms: Tuple[str, ...]
+    brands: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise ValueError(f"topic {self.name!r} needs at least one term")
+        if not self.brands:
+            raise ValueError(f"topic {self.name!r} needs at least one brand")
+
+
+class TopicModel:
+    """A set of topics plus a symmetric related-topics relation."""
+
+    def __init__(
+        self,
+        topics: Iterable[Topic],
+        related: Optional[Iterable[Tuple[str, str]]] = None,
+    ) -> None:
+        self._topics: Dict[str, Topic] = {}
+        for topic in topics:
+            if topic.name in self._topics:
+                raise ValueError(f"duplicate topic name {topic.name!r}")
+            self._topics[topic.name] = topic
+        self._related: Set[FrozenSet[str]] = set()
+        for first, second in related or []:
+            self.add_relation(first, second)
+
+    # ---------------------------------------------------------------- topics
+
+    def topic(self, name: str) -> Topic:
+        return self._topics[name]
+
+    def topic_names(self) -> List[str]:
+        return list(self._topics)
+
+    def __len__(self) -> int:
+        return len(self._topics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._topics
+
+    # ------------------------------------------------------------- relations
+
+    def add_relation(self, first: str, second: str) -> None:
+        """Mark two (distinct, existing) topics as related."""
+        if first not in self._topics or second not in self._topics:
+            raise KeyError(f"unknown topic in relation ({first!r}, {second!r})")
+        if first == second:
+            raise ValueError("a topic cannot be related to itself; it already is the same topic")
+        self._related.add(frozenset((first, second)))
+
+    def are_related(self, first: str, second: str) -> bool:
+        return frozenset((first, second)) in self._related
+
+    def related_topics(self, name: str) -> List[str]:
+        """All topics marked as related to ``name``."""
+        result = []
+        for pair in self._related:
+            if name in pair:
+                other = next(iter(pair - {name}))
+                result.append(other)
+        return sorted(result)
+
+    def relation(self, first: str, second: str) -> TopicRelation:
+        """SAME / RELATED / UNRELATED for two topic names."""
+        if first == second:
+            return TopicRelation.SAME
+        if self.are_related(first, second):
+            return TopicRelation.RELATED
+        return TopicRelation.UNRELATED
+
+    def __repr__(self) -> str:
+        return f"TopicModel(topics={len(self._topics)}, relations={len(self._related)})"

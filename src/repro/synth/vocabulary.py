@@ -1,0 +1,108 @@
+"""Built-in topic vocabularies for the synthetic sponsored-search workload.
+
+The topics are chosen to resemble commercial sponsored-search verticals
+(consumer electronics, flowers, travel, ...) including the examples the paper
+itself uses ("camera", "digital camera", "pc", "tv", "flower").  Each topic
+has query terms and advertiser brands; related-topic pairs connect verticals
+whose users plausibly overlap (cameras and computers, flights and hotels).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.synth.topics import Topic, TopicModel
+
+__all__ = ["DEFAULT_TOPIC_SPECS", "DEFAULT_RELATED_TOPICS", "build_topic_model"]
+
+#: name -> (query terms, advertiser brands)
+DEFAULT_TOPIC_SPECS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
+    "photography": (
+        ("camera", "digital", "lens", "photo", "tripod", "dslr", "zoom", "flash"),
+        ("hp.com", "bestbuy.com", "canonstore.com", "nikonshop.com", "photopro.com"),
+    ),
+    "computers": (
+        ("pc", "laptop", "desktop", "monitor", "keyboard", "memory", "printer", "notebook"),
+        ("dell.com", "bestbuy.com", "newegg.com", "lenovoshop.com", "microcenter.com"),
+    ),
+    "television": (
+        ("tv", "hdtv", "plasma", "lcd", "screen", "remote", "antenna", "projector"),
+        ("sonystyle.com", "bestbuy.com", "samsungshop.com", "vizio.com", "circuitcity.com"),
+    ),
+    "flowers": (
+        ("flower", "orchid", "rose", "bouquet", "florist", "tulip", "delivery", "arrangement"),
+        ("teleflora.com", "orchids.com", "ftd.com", "proflowers.com", "1800flowers.com"),
+    ),
+    "music": (
+        ("mp3", "itunes", "ipod", "music", "song", "player", "headphones", "album"),
+        ("apple.com", "amazonmusic.com", "napster.com", "rhapsody.com", "sandisk.com"),
+    ),
+    "travel": (
+        ("flight", "airfare", "ticket", "airline", "vacation", "trip", "cruise", "travel"),
+        ("expedia.com", "orbitz.com", "travelocity.com", "kayak.com", "priceline.com"),
+    ),
+    "hotels": (
+        ("hotel", "motel", "resort", "lodging", "suite", "inn", "reservation", "hostel"),
+        ("hotels.com", "marriott.com", "hilton.com", "expedia.com", "booking.com"),
+    ),
+    "shoes": (
+        ("shoe", "sneaker", "boot", "sandal", "running", "heel", "loafer", "slipper"),
+        ("zappos.com", "footlocker.com", "nike.com", "shoebuy.com", "adidasshop.com"),
+    ),
+    "cars": (
+        ("car", "sedan", "truck", "suv", "corvette", "chevrolet", "hybrid", "convertible"),
+        ("cars.com", "autotrader.com", "edmunds.com", "carmax.com", "chevydealer.com"),
+    ),
+    "insurance": (
+        ("insurance", "quote", "policy", "premium", "auto", "coverage", "claim", "liability"),
+        ("geico.com", "progressive.com", "allstate.com", "statefarm.com", "esurance.com"),
+    ),
+    "pets": (
+        ("dog", "cat", "puppy", "kitten", "petfood", "leash", "aquarium", "grooming"),
+        ("petsmart.com", "petco.com", "chewy.com", "petfooddirect.com", "dogtoys.com"),
+    ),
+    "gardening": (
+        ("garden", "seed", "soil", "planter", "shovel", "lawn", "fertilizer", "greenhouse"),
+        ("burpee.com", "homedepot.com", "lowes.com", "gardeners.com", "springhill.com"),
+    ),
+}
+
+#: Pairs of topics whose users plausibly overlap (grade-3 "related" topics).
+DEFAULT_RELATED_TOPICS: Tuple[Tuple[str, str], ...] = (
+    ("photography", "computers"),
+    ("photography", "television"),
+    ("computers", "television"),
+    ("computers", "music"),
+    ("music", "television"),
+    ("travel", "hotels"),
+    ("flowers", "gardening"),
+    ("cars", "insurance"),
+    ("shoes", "pets"),
+)
+
+
+def build_topic_model(
+    topic_names: Optional[Iterable[str]] = None,
+    related: Optional[Iterable[Tuple[str, str]]] = None,
+) -> TopicModel:
+    """Build a :class:`TopicModel` from the built-in vocabularies.
+
+    ``topic_names`` selects a subset of :data:`DEFAULT_TOPIC_SPECS` (all
+    topics by default); ``related`` overrides the default related pairs
+    (pairs mentioning unselected topics are silently dropped).
+    """
+    names: List[str] = list(topic_names) if topic_names is not None else list(DEFAULT_TOPIC_SPECS)
+    unknown = [name for name in names if name not in DEFAULT_TOPIC_SPECS]
+    if unknown:
+        raise KeyError(f"unknown topics requested: {unknown}")
+    topics = [
+        Topic(name=name, terms=DEFAULT_TOPIC_SPECS[name][0], brands=DEFAULT_TOPIC_SPECS[name][1])
+        for name in names
+    ]
+    selected = set(names)
+    relation_pairs = [
+        (first, second)
+        for first, second in (related if related is not None else DEFAULT_RELATED_TOPICS)
+        if first in selected and second in selected
+    ]
+    return TopicModel(topics, related=relation_pairs)

@@ -1,0 +1,80 @@
+"""Preset configurations for Yahoo!-like synthetic datasets.
+
+The paper's raw graph (15M queries, 14M ads, 28M edges) is far beyond what a
+laptop-scale pure-Python reproduction needs; the presets here keep the same
+qualitative structure (many topics, power-law degrees, one dominant connected
+component, weighted edges) at three sizes:
+
+* ``TINY_WORKLOAD`` -- seconds to analyse; used by the test suite.
+* ``SMALL_WORKLOAD`` -- the default for examples and benchmark runs.
+* ``MEDIUM_WORKLOAD`` -- a heavier run for the full experiment driver.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.synth.generator import SyntheticWorkload, WorkloadConfig, generate_workload
+
+__all__ = ["TINY_WORKLOAD", "SMALL_WORKLOAD", "MEDIUM_WORKLOAD", "yahoo_like_workload"]
+
+TINY_WORKLOAD = WorkloadConfig(
+    topic_names=("photography", "computers", "television", "flowers"),
+    queries_per_topic=18,
+    ads_per_topic=9,
+    subtopics_per_topic=3,
+    ads_per_query_exponent=1.5,
+    max_ads_per_query=8,
+    traffic_length=2_000,
+    seed=7,
+)
+
+SMALL_WORKLOAD = WorkloadConfig(
+    topic_names=(
+        "photography",
+        "computers",
+        "television",
+        "flowers",
+        "music",
+        "travel",
+        "hotels",
+        "shoes",
+    ),
+    queries_per_topic=45,
+    ads_per_topic=24,
+    subtopics_per_topic=4,
+    ads_per_query_exponent=1.2,
+    max_ads_per_query=10,
+    same_subtopic_probability=0.65,
+    same_topic_probability=0.18,
+    related_topic_probability=0.10,
+    same_topic_affinity=0.45,
+    traffic_length=12_000,
+    seed=11,
+)
+
+MEDIUM_WORKLOAD = WorkloadConfig(
+    topic_names=None,  # all built-in topics
+    queries_per_topic=80,
+    ads_per_topic=32,
+    subtopics_per_topic=4,
+    ads_per_query_exponent=1.2,
+    max_ads_per_query=12,
+    same_subtopic_probability=0.65,
+    same_topic_probability=0.18,
+    related_topic_probability=0.10,
+    same_topic_affinity=0.45,
+    traffic_length=30_000,
+    seed=13,
+)
+
+
+def yahoo_like_workload(size: str = "small", seed: Optional[int] = None) -> SyntheticWorkload:
+    """Generate a preset workload by size name (``tiny`` / ``small`` / ``medium``)."""
+    presets = {"tiny": TINY_WORKLOAD, "small": SMALL_WORKLOAD, "medium": MEDIUM_WORKLOAD}
+    if size not in presets:
+        raise ValueError(f"size must be one of {sorted(presets)}, got {size!r}")
+    config = presets[size]
+    if seed is not None:
+        config = WorkloadConfig(**{**config.__dict__, "seed": seed})
+    return generate_workload(config)

@@ -1,0 +1,19 @@
+"""Lightweight text utilities: tokenization, normalization and stemming.
+
+The sponsored-search front-end deduplicates rewrites via stemming
+(Section 9.3: "we then use stemming to filter out duplicate rewrites"), and
+the simulated editorial judge compares query terms.  Both use the utilities
+here; the Porter stemmer is implemented from scratch so the library has no
+external NLP dependency.
+"""
+
+from repro.text.normalize import normalize_query, query_signature, tokenize
+from repro.text.porter import PorterStemmer, stem
+
+__all__ = [
+    "normalize_query",
+    "query_signature",
+    "tokenize",
+    "PorterStemmer",
+    "stem",
+]

@@ -1,0 +1,36 @@
+"""Query tokenization and normalization.
+
+``query_signature`` is the equivalence key used by the rewriting front-end:
+two queries with the same signature (same multiset of stemmed terms) are
+treated as duplicates during rewrite filtering (Section 9.3).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.text.porter import stem
+
+__all__ = ["tokenize", "normalize_query", "query_signature"]
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> List[str]:
+    """Lowercase alphanumeric tokens of a query string."""
+    return _TOKEN_PATTERN.findall(str(text).lower())
+
+
+def normalize_query(text: str) -> str:
+    """Canonical form of a query: lowercased tokens joined by single spaces."""
+    return " ".join(tokenize(text))
+
+
+def query_signature(text: str) -> Tuple[str, ...]:
+    """Order-insensitive stemmed signature of a query.
+
+    "digital cameras" and "camera digital" share a signature, so one of them
+    is dropped by the duplicate filter.
+    """
+    return tuple(sorted(stem(token) for token in tokenize(text)))

@@ -1,0 +1,198 @@
+"""Porter stemming algorithm (Porter, 1980), implemented from scratch.
+
+The classic five-step suffix-stripping stemmer.  It is used to decide whether
+two query strings are trivial variants of each other ("camera" vs "cameras",
+"running shoe" vs "running shoes") when deduplicating rewrites.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PorterStemmer", "stem"]
+
+_VOWELS = set("aeiou")
+
+
+class PorterStemmer:
+    """Stateless Porter stemmer; use :meth:`stem` on lowercase words."""
+
+    # ------------------------------------------------------------ public API
+
+    def stem(self, word: str) -> str:
+        """Return the Porter stem of a single lowercase word."""
+        if len(word) <= 2:
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._step2(word)
+        word = self._step3(word)
+        word = self._step4(word)
+        word = self._step5a(word)
+        word = self._step5b(word)
+        return word
+
+    # ------------------------------------------------------------ primitives
+
+    def _is_consonant(self, word: str, index: int) -> bool:
+        char = word[index]
+        if char in _VOWELS:
+            return False
+        if char == "y":
+            if index == 0:
+                return True
+            return not self._is_consonant(word, index - 1)
+        return True
+
+    def _measure(self, stem_part: str) -> int:
+        """The Porter measure m: number of VC sequences in the stem."""
+        forms = []
+        for index in range(len(stem_part)):
+            forms.append("c" if self._is_consonant(stem_part, index) else "v")
+        collapsed = "".join(forms)
+        # Collapse runs, then count "vc" transitions.
+        compact = []
+        for symbol in collapsed:
+            if not compact or compact[-1] != symbol:
+                compact.append(symbol)
+        return "".join(compact).count("vc")
+
+    def _contains_vowel(self, stem_part: str) -> bool:
+        return any(not self._is_consonant(stem_part, index) for index in range(len(stem_part)))
+
+    def _ends_double_consonant(self, word: str) -> bool:
+        return (
+            len(word) >= 2
+            and word[-1] == word[-2]
+            and self._is_consonant(word, len(word) - 1)
+        )
+
+    def _ends_cvc(self, word: str) -> bool:
+        if len(word) < 3:
+            return False
+        last = len(word) - 1
+        return (
+            self._is_consonant(word, last)
+            and not self._is_consonant(word, last - 1)
+            and self._is_consonant(word, last - 2)
+            and word[last] not in "wxy"
+        )
+
+    def _replace_suffix(self, word: str, suffix: str, replacement: str, min_measure: int) -> str:
+        """Replace ``suffix`` by ``replacement`` when the stem measure allows it."""
+        if not word.endswith(suffix):
+            return word
+        stem_part = word[: len(word) - len(suffix)]
+        if self._measure(stem_part) > min_measure:
+            return stem_part + replacement
+        return word
+
+    # ----------------------------------------------------------------- steps
+
+    def _step1a(self, word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    def _step1b(self, word: str) -> str:
+        if word.endswith("eed"):
+            stem_part = word[:-3]
+            if self._measure(stem_part) > 0:
+                return word[:-1]
+            return word
+        applied = False
+        if word.endswith("ed"):
+            stem_part = word[:-2]
+            if self._contains_vowel(stem_part):
+                word = stem_part
+                applied = True
+        elif word.endswith("ing"):
+            stem_part = word[:-3]
+            if self._contains_vowel(stem_part):
+                word = stem_part
+                applied = True
+        if applied:
+            if word.endswith(("at", "bl", "iz")):
+                return word + "e"
+            if self._ends_double_consonant(word) and not word.endswith(("l", "s", "z")):
+                return word[:-1]
+            if self._measure(word) == 1 and self._ends_cvc(word):
+                return word + "e"
+        return word
+
+    def _step1c(self, word: str) -> str:
+        if word.endswith("y") and self._contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    _STEP2_SUFFIXES = (
+        ("ational", "ate"), ("tional", "tion"), ("enci", "ence"), ("anci", "ance"),
+        ("izer", "ize"), ("abli", "able"), ("alli", "al"), ("entli", "ent"),
+        ("eli", "e"), ("ousli", "ous"), ("ization", "ize"), ("ation", "ate"),
+        ("ator", "ate"), ("alism", "al"), ("iveness", "ive"), ("fulness", "ful"),
+        ("ousness", "ous"), ("aliti", "al"), ("iviti", "ive"), ("biliti", "ble"),
+    )
+
+    def _step2(self, word: str) -> str:
+        for suffix, replacement in self._STEP2_SUFFIXES:
+            if word.endswith(suffix):
+                return self._replace_suffix(word, suffix, replacement, min_measure=0)
+        return word
+
+    _STEP3_SUFFIXES = (
+        ("icate", "ic"), ("ative", ""), ("alize", "al"), ("iciti", "ic"),
+        ("ical", "ic"), ("ful", ""), ("ness", ""),
+    )
+
+    def _step3(self, word: str) -> str:
+        for suffix, replacement in self._STEP3_SUFFIXES:
+            if word.endswith(suffix):
+                return self._replace_suffix(word, suffix, replacement, min_measure=0)
+        return word
+
+    _STEP4_SUFFIXES = (
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    )
+
+    def _step4(self, word: str) -> str:
+        if word.endswith("ion") and len(word) > 3 and word[-4] in "st":
+            stem_part = word[:-3]
+            if self._measure(stem_part) > 1:
+                return stem_part
+            return word
+        for suffix in self._STEP4_SUFFIXES:
+            if word.endswith(suffix):
+                stem_part = word[: len(word) - len(suffix)]
+                if self._measure(stem_part) > 1:
+                    return stem_part
+                return word
+        return word
+
+    def _step5a(self, word: str) -> str:
+        if word.endswith("e"):
+            stem_part = word[:-1]
+            measure = self._measure(stem_part)
+            if measure > 1:
+                return stem_part
+            if measure == 1 and not self._ends_cvc(stem_part):
+                return stem_part
+        return word
+
+    def _step5b(self, word: str) -> str:
+        if self._measure(word) > 1 and self._ends_double_consonant(word) and word.endswith("l"):
+            return word[:-1]
+        return word
+
+
+_DEFAULT_STEMMER = PorterStemmer()
+
+
+def stem(word: str) -> str:
+    """Porter stem of a word (lowercased before stemming)."""
+    return _DEFAULT_STEMMER.stem(word.lower())

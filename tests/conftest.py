@@ -1,0 +1,69 @@
+"""Shared fixtures: the paper's sample graphs and a tiny synthetic workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SimrankConfig
+from repro.graph.click_graph import ClickGraph
+from repro.synth.scenarios import figure3_graph, figure4_graphs, figure5_graphs
+from repro.synth.yahoo_like import yahoo_like_workload
+
+
+@pytest.fixture
+def fig3_graph() -> ClickGraph:
+    """The unweighted sample click graph of Figure 3."""
+    return figure3_graph()
+
+
+@pytest.fixture
+def k22_graph() -> ClickGraph:
+    """The K2,2 graph of Figure 4 (camera / digital camera)."""
+    return figure4_graphs()[0]
+
+
+@pytest.fixture
+def k12_graph() -> ClickGraph:
+    """The K1,2 graph of Figure 4 (pc / camera)."""
+    return figure4_graphs()[1]
+
+
+@pytest.fixture
+def weighted_pair_graphs():
+    """The balanced / skewed weighted graphs of Figure 5."""
+    return figure5_graphs()
+
+
+@pytest.fixture
+def paper_config() -> SimrankConfig:
+    """The configuration used throughout the paper: C1 = C2 = 0.8, 7 iterations."""
+    return SimrankConfig(c1=0.8, c2=0.8, iterations=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_workload():
+    """A tiny synthetic workload shared by the heavier integration tests."""
+    return yahoo_like_workload("tiny")
+
+
+@pytest.fixture
+def small_weighted_graph() -> ClickGraph:
+    """A small weighted graph with two topical clusters joined by one bridge ad."""
+    graph = ClickGraph()
+    edges = [
+        ("camera", "hp.com", 500, 50, 0.10),
+        ("camera", "bestbuy.com", 400, 60, 0.15),
+        ("digital camera", "hp.com", 450, 45, 0.10),
+        ("digital camera", "bestbuy.com", 300, 60, 0.20),
+        ("pc", "hp.com", 600, 30, 0.05),
+        ("pc", "dell.com", 800, 80, 0.10),
+        ("laptop", "dell.com", 700, 70, 0.10),
+        ("laptop", "bestbuy.com", 200, 10, 0.05),
+        ("flower", "teleflora.com", 300, 45, 0.15),
+        ("orchids", "teleflora.com", 280, 42, 0.15),
+        ("flower", "orchids.com", 250, 40, 0.16),
+        ("orchids", "orchids.com", 260, 41, 0.16),
+    ]
+    for query, ad, impressions, clicks, ecr in edges:
+        graph.add_edge(query, ad, impressions=impressions, clicks=clicks, expected_click_rate=ecr)
+    return graph

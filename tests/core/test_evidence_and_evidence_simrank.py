@@ -1,0 +1,128 @@
+"""Tests for the evidence functions and evidence-based SimRank (Table 4, Theorem 7.1)."""
+
+import pytest
+
+from repro.core.config import EvidenceKind, SimrankConfig
+from repro.core.evidence import (
+    ad_evidence_factors,
+    common_neighbor_count,
+    evidence_exponential,
+    evidence_geometric,
+    evidence_score,
+    query_evidence_factors,
+)
+from repro.core.evidence_simrank import EvidenceSimrank
+from repro.core.simrank import BipartiteSimrank
+
+
+class TestEvidenceFunctions:
+    def test_geometric_values(self):
+        assert evidence_geometric(0) == 0.0
+        assert evidence_geometric(1) == pytest.approx(0.5)
+        assert evidence_geometric(2) == pytest.approx(0.75)
+        assert evidence_geometric(3) == pytest.approx(0.875)
+
+    def test_exponential_values(self):
+        assert evidence_exponential(0) == 0.0
+        assert evidence_exponential(1) == pytest.approx(0.6321, abs=1e-4)
+
+    def test_both_are_increasing_and_bounded(self):
+        for function in (evidence_geometric, evidence_exponential):
+            values = [function(n) for n in range(0, 12)]
+            assert values == sorted(values)
+            assert all(0.0 <= value < 1.0 for value in values)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            evidence_geometric(-1)
+        with pytest.raises(ValueError):
+            evidence_exponential(-1)
+
+    def test_evidence_score_dispatch(self):
+        assert evidence_score(2, EvidenceKind.GEOMETRIC) == pytest.approx(0.75)
+        assert evidence_score(2, EvidenceKind.EXPONENTIAL) == pytest.approx(1 - pow(2.718281828, -2), abs=1e-3)
+
+    def test_common_neighbor_count(self, fig3_graph):
+        assert common_neighbor_count(fig3_graph, "camera", "digital camera") == 2
+        assert common_neighbor_count(fig3_graph, "pc", "tv") == 0
+        assert common_neighbor_count(fig3_graph, "hp.com", "bestbuy.com", side="ad") == 2
+        with pytest.raises(ValueError):
+            common_neighbor_count(fig3_graph, "a", "b", side="wrong")
+
+    def test_pairwise_factor_maps(self, fig3_graph):
+        query_factors = query_evidence_factors(fig3_graph)
+        assert query_factors[("camera", "digital camera")] == pytest.approx(0.75)
+        assert ("pc", "tv") not in query_factors
+        ad_factors = ad_evidence_factors(fig3_graph)
+        assert ad_factors[("hp.com", "bestbuy.com")] == pytest.approx(0.75)
+
+
+class TestEvidenceSimrank:
+    def test_table4_iteration_trace(self, k22_graph, k12_graph, paper_config):
+        """Table 4: evidence-based SimRank per-iteration scores."""
+        expected_k22 = [0.3, 0.42, 0.468, 0.4872, 0.49488, 0.497952, 0.4991808]
+        sim_k22 = EvidenceSimrank(paper_config, track_history=True).fit(k22_graph)
+        sim_k12 = EvidenceSimrank(paper_config, track_history=True).fit(k12_graph)
+        for index, expected in enumerate(expected_k22):
+            assert sim_k22.query_history[index].score("camera", "digital camera") == pytest.approx(
+                expected, abs=1e-9
+            )
+            assert sim_k12.query_history[index].score("pc", "camera") == pytest.approx(0.4)
+
+    def test_theorem_7_1_ordering_flips_after_first_iteration(
+        self, k22_graph, k12_graph, paper_config
+    ):
+        sim_k22 = EvidenceSimrank(paper_config, track_history=True).fit(k22_graph)
+        sim_k12 = EvidenceSimrank(paper_config, track_history=True).fit(k12_graph)
+        for k in range(1, paper_config.iterations):
+            assert (
+                sim_k22.query_history[k].score("camera", "digital camera")
+                > sim_k12.query_history[k].score("pc", "camera")
+            )
+
+    def test_evidence_scales_simrank_scores(self, fig3_graph, paper_config):
+        plain = BipartiteSimrank(paper_config).fit(fig3_graph)
+        evidence = EvidenceSimrank(paper_config).fit(fig3_graph)
+        # camera / digital camera share 2 ads -> factor 0.75.
+        assert evidence.query_similarity("camera", "digital camera") == pytest.approx(
+            0.75 * plain.query_similarity("camera", "digital camera")
+        )
+        # camera / tv share 1 ad -> factor 0.5.
+        assert evidence.query_similarity("camera", "tv") == pytest.approx(
+            0.5 * plain.query_similarity("camera", "tv")
+        )
+
+    def test_zero_evidence_pairs_drop_to_zero_by_default(self, fig3_graph, paper_config):
+        evidence = EvidenceSimrank(paper_config).fit(fig3_graph)
+        assert evidence.query_similarity("pc", "tv") == 0.0
+
+    def test_zero_evidence_floor_keeps_structural_score(self, fig3_graph, paper_config):
+        plain = BipartiteSimrank(paper_config).fit(fig3_graph)
+        floored = EvidenceSimrank(paper_config, zero_evidence_floor=0.1).fit(fig3_graph)
+        assert floored.query_similarity("pc", "tv") == pytest.approx(
+            0.1 * plain.query_similarity("pc", "tv")
+        )
+
+    def test_floor_from_config(self, fig3_graph):
+        config = SimrankConfig(iterations=7, zero_evidence_floor=0.2)
+        method = EvidenceSimrank(config).fit(fig3_graph)
+        assert method.query_similarity("pc", "tv") > 0.0
+
+    def test_ad_similarity_scaled_by_evidence(self, fig3_graph, paper_config):
+        plain = BipartiteSimrank(paper_config).fit(fig3_graph)
+        evidence = EvidenceSimrank(paper_config).fit(fig3_graph)
+        assert evidence.ad_similarity("hp.com", "bestbuy.com") == pytest.approx(
+            0.75 * plain.ad_similarity("hp.com", "bestbuy.com")
+        )
+
+    def test_exponential_evidence_variant(self, k22_graph):
+        config = SimrankConfig(iterations=7, evidence=EvidenceKind.EXPONENTIAL)
+        method = EvidenceSimrank(config).fit(k22_graph)
+        geometric = EvidenceSimrank(SimrankConfig(iterations=7)).fit(k22_graph)
+        # The exponential factor for 2 common neighbours (0.865) exceeds the
+        # geometric one (0.75), so the score is larger but still below 1.
+        assert (
+            geometric.query_similarity("camera", "digital camera")
+            < method.query_similarity("camera", "digital camera")
+            < 1.0
+        )

@@ -1,0 +1,134 @@
+"""Tests for plain bipartite SimRank, including the paper's exact numbers."""
+
+import pytest
+
+from repro.core.config import SimrankConfig
+from repro.core.simrank import BipartiteSimrank
+from repro.graph.click_graph import ClickGraph
+from repro.synth.scenarios import complete_bipartite_graph
+
+
+class TestPaperTables:
+    def test_table2_scores_on_figure3_graph(self, fig3_graph):
+        """Table 2: SimRank with C1 = C2 = 0.8 on the Figure 3 sample graph."""
+        simrank = BipartiteSimrank(SimrankConfig(iterations=20)).fit(fig3_graph)
+        assert simrank.query_similarity("pc", "camera") == pytest.approx(0.619, abs=2e-3)
+        assert simrank.query_similarity("pc", "digital camera") == pytest.approx(0.619, abs=2e-3)
+        assert simrank.query_similarity("pc", "tv") == pytest.approx(0.437, abs=2e-3)
+        assert simrank.query_similarity("camera", "digital camera") == pytest.approx(0.619, abs=2e-3)
+        assert simrank.query_similarity("camera", "tv") == pytest.approx(0.619, abs=2e-3)
+        for query in ("pc", "camera", "digital camera", "tv"):
+            assert simrank.query_similarity(query, "flower") == 0.0
+
+    def test_table3_iteration_trace(self, k22_graph, k12_graph, paper_config):
+        """Table 3: per-iteration scores on K2,2 vs K1,2."""
+        expected_k22 = [0.4, 0.56, 0.624, 0.6496, 0.65984, 0.663936, 0.6655744]
+        sim_k22 = BipartiteSimrank(paper_config, track_history=True).fit(k22_graph)
+        sim_k12 = BipartiteSimrank(paper_config, track_history=True).fit(k12_graph)
+        for index, expected in enumerate(expected_k22):
+            snapshot = sim_k22.result.query_history[index]
+            assert snapshot.score("camera", "digital camera") == pytest.approx(expected, abs=1e-9)
+            assert sim_k12.result.query_history[index].score("pc", "camera") == pytest.approx(0.8)
+
+    def test_theorem_6_1_ordering(self, k22_graph, k12_graph, paper_config):
+        """Theorem 6.1: the K1,2 pair scores at least as high as the K2,2 pair."""
+        sim_k22 = BipartiteSimrank(paper_config, track_history=True).fit(k22_graph)
+        sim_k12 = BipartiteSimrank(paper_config, track_history=True).fit(k12_graph)
+        for k in range(paper_config.iterations):
+            assert (
+                sim_k12.result.query_history[k].score("pc", "camera")
+                >= sim_k22.result.query_history[k].score("camera", "digital camera")
+            )
+
+
+class TestBasicProperties:
+    def test_self_similarity_is_one(self, fig3_graph, paper_config):
+        simrank = BipartiteSimrank(paper_config).fit(fig3_graph)
+        assert simrank.query_similarity("camera", "camera") == 1.0
+
+    def test_symmetry(self, fig3_graph, paper_config):
+        simrank = BipartiteSimrank(paper_config).fit(fig3_graph)
+        assert simrank.query_similarity("pc", "tv") == simrank.query_similarity("tv", "pc")
+
+    def test_scores_in_unit_interval(self, small_weighted_graph, paper_config):
+        simrank = BipartiteSimrank(paper_config).fit(small_weighted_graph)
+        for _, _, value in simrank.similarities().pairs():
+            assert 0.0 <= value <= 1.0
+
+    def test_disconnected_pairs_score_zero(self, fig3_graph, paper_config):
+        simrank = BipartiteSimrank(paper_config).fit(fig3_graph)
+        assert simrank.query_similarity("flower", "pc") == 0.0
+
+    def test_ad_similarity_available(self, fig3_graph, paper_config):
+        simrank = BipartiteSimrank(paper_config).fit(fig3_graph)
+        assert simrank.ad_similarity("hp.com", "bestbuy.com") > 0.0
+        assert simrank.ad_similarity("hp.com", "teleflora.com") == 0.0
+
+    def test_unfitted_method_raises(self, paper_config):
+        simrank = BipartiteSimrank(paper_config)
+        with pytest.raises(RuntimeError):
+            simrank.query_similarity("a", "b")
+
+    def test_top_rewrites_sorted_by_score(self, fig3_graph, paper_config):
+        simrank = BipartiteSimrank(paper_config).fit(fig3_graph)
+        rewrites = simrank.top_rewrites("camera", k=3)
+        scores = [score for _, score in rewrites]
+        assert scores == sorted(scores, reverse=True)
+        assert rewrites[0][0] in {"digital camera", "pc", "tv"}
+
+    def test_covers(self, fig3_graph, paper_config):
+        simrank = BipartiteSimrank(paper_config).fit(fig3_graph)
+        assert simrank.covers("camera")
+        assert not simrank.covers("flower")
+
+
+class TestIterationControl:
+    def test_more_iterations_never_decrease_scores(self, fig3_graph):
+        previous = 0.0
+        for iterations in (1, 3, 5, 9):
+            simrank = BipartiteSimrank(SimrankConfig(iterations=iterations)).fit(fig3_graph)
+            current = simrank.query_similarity("pc", "tv")
+            assert current >= previous - 1e-12
+            previous = current
+
+    def test_early_stopping_with_tolerance(self, k12_graph):
+        config = SimrankConfig(iterations=50, tolerance=1e-6)
+        simrank = BipartiteSimrank(config).fit(k12_graph)
+        assert simrank.result.converged
+        assert simrank.result.iterations_run < 50
+
+    def test_history_tracking_length(self, k22_graph, paper_config):
+        simrank = BipartiteSimrank(paper_config, track_history=True).fit(k22_graph)
+        assert len(simrank.result.query_history) == paper_config.iterations
+        assert len(simrank.result.ad_history) == paper_config.iterations
+
+    def test_max_pairs_guard(self):
+        graph = complete_bipartite_graph(60, 60)
+        with pytest.raises(ValueError):
+            BipartiteSimrank(max_pairs=100).fit(graph)
+
+    def test_decay_factor_scales_scores(self, k12_graph):
+        low = BipartiteSimrank(SimrankConfig(c1=0.6, c2=0.6, iterations=5)).fit(k12_graph)
+        high = BipartiteSimrank(SimrankConfig(c1=0.9, c2=0.9, iterations=5)).fit(k12_graph)
+        assert low.ad_similarity("hp.com", "hp.com") == 1.0
+        assert low.query_similarity("pc", "camera") < high.query_similarity("pc", "camera")
+
+
+class TestEdgeCases:
+    def test_empty_graph(self, paper_config):
+        simrank = BipartiteSimrank(paper_config).fit(ClickGraph())
+        assert len(simrank.similarities()) == 0
+
+    def test_single_edge_graph(self, paper_config):
+        graph = ClickGraph()
+        graph.add_edge("only query", "only ad", impressions=1, clicks=1)
+        simrank = BipartiteSimrank(paper_config).fit(graph)
+        assert simrank.query_similarity("only query", "only query") == 1.0
+        assert len(simrank.similarities()) == 0
+
+    def test_isolated_nodes_do_not_break_fit(self, paper_config):
+        graph = ClickGraph()
+        graph.add_edge("q1", "a1", impressions=1, clicks=1)
+        graph.add_query("isolated")
+        simrank = BipartiteSimrank(paper_config).fit(graph)
+        assert simrank.query_similarity("q1", "isolated") == 0.0

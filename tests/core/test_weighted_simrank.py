@@ -1,0 +1,165 @@
+"""Tests for weighted SimRank (Simrank++): transition factors and consistency."""
+
+import math
+
+import pytest
+
+from repro.core.config import SimrankConfig
+from repro.core.simrank import BipartiteSimrank
+from repro.core.weighted_simrank import WeightedSimrank, spread, transition_factors
+from repro.graph.click_graph import ClickGraph, WeightSource
+from repro.synth.scenarios import figure5_graphs, figure6_graphs
+
+
+class TestSpreadAndTransitions:
+    def test_spread_is_one_for_single_edge(self, small_weighted_graph):
+        assert spread(small_weighted_graph, "orchids.com", "ad") <= 1.0
+        single = ClickGraph()
+        single.add_edge("q", "a", impressions=10, clicks=5, expected_click_rate=0.5)
+        assert spread(single, "a", "ad") == pytest.approx(1.0)
+
+    def test_spread_decreases_with_weight_variance(self):
+        balanced = ClickGraph()
+        balanced.add_edge("q1", "ad", impressions=100, clicks=10, expected_click_rate=0.5)
+        balanced.add_edge("q2", "ad", impressions=100, clicks=10, expected_click_rate=0.5)
+        skewed = ClickGraph()
+        skewed.add_edge("q1", "ad", impressions=100, clicks=10, expected_click_rate=0.9)
+        skewed.add_edge("q2", "ad", impressions=100, clicks=10, expected_click_rate=0.1)
+        assert spread(balanced, "ad", "ad") > spread(skewed, "ad", "ad")
+
+    def test_spread_formula_matches_definition(self):
+        graph = ClickGraph()
+        graph.add_edge("q1", "ad", impressions=10, clicks=2, expected_click_rate=0.2)
+        graph.add_edge("q2", "ad", impressions=10, clicks=6, expected_click_rate=0.6)
+        weights = [0.2, 0.6]
+        mean = sum(weights) / 2
+        variance = sum((w - mean) ** 2 for w in weights) / 2
+        assert spread(graph, "ad", "ad") == pytest.approx(math.exp(-variance))
+
+    def test_spread_rejects_unknown_side(self, small_weighted_graph):
+        with pytest.raises(ValueError):
+            spread(small_weighted_graph, "camera", "neither")
+
+    def test_transition_factors_sum_to_at_most_one(self, small_weighted_graph):
+        query_factors, ad_factors = transition_factors(small_weighted_graph)
+        for query in small_weighted_graph.queries():
+            total = sum(
+                factor for (q, _), factor in query_factors.items() if q == query
+            )
+            assert total <= 1.0 + 1e-9
+        for ad in small_weighted_graph.ads():
+            total = sum(factor for (a, _), factor in ad_factors.items() if a == ad)
+            assert total <= 1.0 + 1e-9
+
+    def test_transition_factor_uses_normalized_weight(self):
+        graph = ClickGraph()
+        graph.add_edge("q", "a1", impressions=100, clicks=30, expected_click_rate=0.3)
+        graph.add_edge("q", "a2", impressions=100, clicks=10, expected_click_rate=0.1)
+        query_factors, _ = transition_factors(graph)
+        # a1 and a2 each have a single incident edge, so spread is 1 and the
+        # factors are just the normalized weights 0.75 / 0.25.
+        assert query_factors[("q", "a1")] == pytest.approx(0.75)
+        assert query_factors[("q", "a2")] == pytest.approx(0.25)
+
+
+class TestConsistency:
+    def test_figure5_variance_consistency(self, paper_config):
+        """Definition 8.1(ii): lower weight variance at the shared ad -> higher similarity."""
+        balanced, skewed = figure5_graphs()
+        config = SimrankConfig(iterations=7)
+        balanced_sim = WeightedSimrank(config).fit(balanced)
+        skewed_sim = WeightedSimrank(config).fit(skewed)
+        assert balanced_sim.query_similarity("flower", "orchids") > skewed_sim.query_similarity(
+            "flower", "teleflora"
+        )
+
+    def test_figure6_magnitude_consistency_with_click_weights(self):
+        """Definition 8.1(i): more clicks at equal spread -> higher similarity.
+
+        The expected-click-rate weights of the two Figure 6 graphs are
+        identical, so the consistency rule only bites when raw click counts
+        are the weight source.
+        """
+        heavy, light = figure6_graphs()
+        config = SimrankConfig(iterations=7, weight_source=WeightSource.CLICKS)
+        heavy_sim = WeightedSimrank(config).fit(heavy)
+        light_sim = WeightedSimrank(config).fit(light)
+        assert heavy_sim.query_similarity("flower", "orchids") >= light_sim.query_similarity(
+            "flower", "teleflora"
+        )
+
+    def test_plain_simrank_is_not_consistent_on_figure5(self, paper_config):
+        """The motivating failure: plain SimRank scores both Figure 5 graphs identically."""
+        balanced, skewed = figure5_graphs()
+        balanced_sim = BipartiteSimrank(paper_config).fit(balanced)
+        skewed_sim = BipartiteSimrank(paper_config).fit(skewed)
+        assert balanced_sim.query_similarity("flower", "orchids") == pytest.approx(
+            skewed_sim.query_similarity("flower", "teleflora")
+        )
+
+
+class TestWeightedSimrankBehaviour:
+    def test_scores_in_unit_interval_and_symmetric(self, small_weighted_graph, paper_config):
+        method = WeightedSimrank(paper_config).fit(small_weighted_graph)
+        for first, second, value in method.similarities().pairs():
+            assert 0.0 <= value <= 1.0
+            assert method.query_similarity(second, first) == pytest.approx(value)
+
+    def test_self_similarity_is_one(self, small_weighted_graph, paper_config):
+        method = WeightedSimrank(paper_config).fit(small_weighted_graph)
+        assert method.query_similarity("camera", "camera") == 1.0
+
+    def test_prefers_strongly_co_clicked_pairs(self, small_weighted_graph, paper_config):
+        method = WeightedSimrank(paper_config).fit(small_weighted_graph)
+        strong = method.query_similarity("flower", "orchids")
+        weak = method.query_similarity("pc", "laptop")
+        assert strong > 0.0
+        assert weak > 0.0
+        # flower/orchids share two ads with nearly identical weights; pc/laptop
+        # share one ad with diverging weights.
+        assert strong > weak
+
+    def test_disabling_evidence_gives_weights_only_variant(self, fig3_graph, paper_config):
+        with_evidence = WeightedSimrank(paper_config).fit(fig3_graph)
+        without_evidence = WeightedSimrank(paper_config, use_evidence=False).fit(fig3_graph)
+        assert without_evidence.query_similarity(
+            "camera", "digital camera"
+        ) > with_evidence.query_similarity("camera", "digital camera")
+
+    def test_zero_evidence_floor_keeps_two_hop_pairs(self, fig3_graph):
+        strict = WeightedSimrank(SimrankConfig(iterations=7)).fit(fig3_graph)
+        floored = WeightedSimrank(SimrankConfig(iterations=7, zero_evidence_floor=0.1)).fit(fig3_graph)
+        assert strict.query_similarity("pc", "tv") == 0.0
+        assert floored.query_similarity("pc", "tv") > 0.0
+
+    def test_history_tracking(self, k22_graph, paper_config):
+        method = WeightedSimrank(paper_config, track_history=True).fit(k22_graph)
+        assert len(method.query_history) == paper_config.iterations
+        values = [snapshot.score("camera", "digital camera") for snapshot in method.query_history]
+        assert values == sorted(values)
+
+    def test_uniform_weights_without_evidence_reduce_to_plain_simrank(
+        self, k22_graph, paper_config
+    ):
+        """With uniform weights the weighted walk is the uniform walk, so the
+        evidence-free weighted variant reproduces plain SimRank exactly."""
+        weighted = WeightedSimrank(paper_config, use_evidence=False).fit(k22_graph)
+        plain = BipartiteSimrank(paper_config).fit(k22_graph)
+        assert weighted.query_similarity("camera", "digital camera") == pytest.approx(
+            plain.query_similarity("camera", "digital camera"), abs=1e-9
+        )
+
+    def test_evidence_compounds_inside_the_weighted_recursion(self, k22_graph, paper_config):
+        """The paper applies evidence inside the weighted fixpoint (Section 8),
+        so the weighted score sits below the post-hoc evidence-based score."""
+        from repro.core.evidence_simrank import EvidenceSimrank
+
+        weighted = WeightedSimrank(paper_config).fit(k22_graph)
+        evidence = EvidenceSimrank(paper_config).fit(k22_graph)
+        assert 0.0 < weighted.query_similarity("camera", "digital camera") < (
+            evidence.query_similarity("camera", "digital camera")
+        )
+
+    def test_ad_similarity(self, small_weighted_graph, paper_config):
+        method = WeightedSimrank(paper_config).fit(small_weighted_graph)
+        assert method.ad_similarity("teleflora.com", "orchids.com") > 0.0

@@ -1,0 +1,141 @@
+"""Tests for coverage/depth metrics, the desirability experiment and text reporting."""
+
+import random
+
+import pytest
+
+from repro.core.config import SimrankConfig
+from repro.core.registry import create_method
+from repro.core.rewriter import Rewrite, RewriteList
+from repro.eval.coverage import DEPTH_BINS, coverage_percentage, depth_distribution, depth_histogram
+from repro.eval.desirability import (
+    desirability,
+    run_desirability_experiment,
+    select_desirability_cases,
+)
+from repro.eval.reporting import format_series, format_table
+from repro.graph.click_graph import ClickGraph
+
+
+def _rewrite_list(query, count):
+    rewrites = [
+        Rewrite(query=query, rewrite=f"{query}-rw{i}", score=1.0 - i * 0.1, rank=i + 1)
+        for i in range(count)
+    ]
+    return RewriteList(query=query, rewrites=rewrites)
+
+
+class TestCoverageAndDepth:
+    def test_coverage_percentage(self):
+        lists = {"a": _rewrite_list("a", 3), "b": _rewrite_list("b", 0)}
+        assert coverage_percentage(lists) == pytest.approx(50.0)
+        assert coverage_percentage({}) == 0.0
+
+    def test_depth_histogram(self):
+        lists = {"a": _rewrite_list("a", 5), "b": _rewrite_list("b", 2), "c": _rewrite_list("c", 0)}
+        histogram = depth_histogram(lists)
+        assert histogram[5] == 1 and histogram[2] == 1 and histogram[0] == 1
+
+    def test_depth_distribution_bins(self):
+        lists = {
+            "a": _rewrite_list("a", 5),
+            "b": _rewrite_list("b", 4),
+            "c": _rewrite_list("c", 1),
+            "d": _rewrite_list("d", 0),
+        }
+        distribution = depth_distribution(lists)
+        assert list(distribution) == list(DEPTH_BINS)
+        assert distribution["5"] == pytest.approx(25.0)
+        assert distribution["4-5"] == pytest.approx(50.0)
+        assert distribution["1-5"] == pytest.approx(75.0)
+
+    def test_depth_distribution_empty(self):
+        assert depth_distribution({}) == {bin_name: 0.0 for bin_name in DEPTH_BINS}
+
+
+class TestDesirability:
+    def _graph(self):
+        graph = ClickGraph()
+        # q1 shares "shared-ad" with both candidates and keeps a second ad so
+        # the removal never isolates it; the candidates remain reachable
+        # through "backbone", which is connected to q1's remaining ad via q4.
+        graph.add_edge("q1", "shared-ad", impressions=100, clicks=20, expected_click_rate=0.2)
+        graph.add_edge("q1", "other-ad", impressions=100, clicks=10, expected_click_rate=0.1)
+        graph.add_edge("q2", "shared-ad", impressions=100, clicks=40, expected_click_rate=0.4)
+        graph.add_edge("q3", "shared-ad", impressions=100, clicks=5, expected_click_rate=0.05)
+        graph.add_edge("q2", "backbone", impressions=100, clicks=10, expected_click_rate=0.1)
+        graph.add_edge("q3", "backbone", impressions=100, clicks=10, expected_click_rate=0.1)
+        graph.add_edge("q4", "backbone", impressions=100, clicks=10, expected_click_rate=0.1)
+        graph.add_edge("q4", "other-ad", impressions=100, clicks=10, expected_click_rate=0.1)
+        return graph
+
+    def test_desirability_definition(self):
+        graph = self._graph()
+        # des(q1, q2) = w(q2, shared-ad) / |E(q2)| = 0.4 / 2
+        assert desirability(graph, "q1", "q2") == pytest.approx(0.2)
+        assert desirability(graph, "q1", "q3") == pytest.approx(0.025)
+        # q4 only shares the low-weight "other-ad" with q1.
+        assert desirability(graph, "q1", "q4") == pytest.approx(0.05)
+        # A query with no shared ad at all has zero desirability.
+        assert desirability(graph, "q2", "q4") == pytest.approx(0.05)
+        assert desirability(graph, "q3", "q1") == pytest.approx(0.2 / 2)
+
+    def test_case_selection_keeps_connectivity(self):
+        graph = self._graph()
+        cases = select_desirability_cases(graph, num_cases=5, rng=random.Random(0))
+        assert cases
+        for case in cases:
+            pruned = graph.without_edges(case.removed_edges)
+            # The query must still have at least one edge left.
+            assert pruned.query_degree(case.query) >= 1
+
+    def test_experiment_runs_and_reports_accuracy(self):
+        graph = self._graph()
+        config = SimrankConfig(iterations=5, zero_evidence_floor=0.1)
+        factories = {
+            "simrank": lambda: create_method("simrank", config=config),
+            "weighted_simrank": lambda: create_method("weighted_simrank", config=config),
+        }
+        results = run_desirability_experiment(
+            graph, factories, num_cases=5, rng=random.Random(1)
+        )
+        assert set(results) == {"simrank", "weighted_simrank"}
+        for result in results.values():
+            assert result.total >= 1
+            assert 0.0 <= result.accuracy <= 1.0
+            assert result.percentage == pytest.approx(100 * result.accuracy)
+            assert len(result.case_outcomes) == result.total
+
+    def test_no_removal_variant_sees_direct_evidence(self):
+        graph = self._graph()
+        config = SimrankConfig(iterations=5, zero_evidence_floor=0.1)
+        factories = {"weighted_simrank": lambda: create_method("weighted_simrank", config=config)}
+        cases = select_desirability_cases(graph, num_cases=5, rng=random.Random(2))
+        with_removal = run_desirability_experiment(graph, factories, cases=cases)
+        without_removal = run_desirability_experiment(
+            graph, factories, cases=cases, remove_direct_evidence=False
+        )
+        assert without_removal["weighted_simrank"].accuracy >= with_removal[
+            "weighted_simrank"
+        ].accuracy
+
+
+class TestReporting:
+    def test_format_table_alignment_and_title(self):
+        rows = [{"method": "simrank", "coverage": 98.0}, {"method": "pearson", "coverage": 41.0}]
+        text = format_table(rows, title="Coverage")
+        assert text.splitlines()[0] == "Coverage"
+        assert "simrank" in text and "41" in text
+
+    def test_format_table_empty(self):
+        assert "(empty)" in format_table([], title="Nothing")
+
+    def test_format_series(self):
+        text = format_series(
+            {"simrank": [0.8, 0.7], "pearson": [0.7, 0.6]},
+            x_labels=[1, 2],
+            x_name="X",
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("X")
+        assert len(lines) == 4

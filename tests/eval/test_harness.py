@@ -1,0 +1,123 @@
+"""Integration tests for the end-to-end evaluation harness."""
+
+import pytest
+
+from repro.core.config import SimrankConfig
+from repro.eval.harness import RELEVANCE_THRESHOLDS, ExperimentHarness
+
+
+@pytest.fixture(scope="module")
+def harness_result(request):
+    """One shared harness run on the tiny workload (kept small for speed)."""
+    from repro.synth.yahoo_like import yahoo_like_workload
+
+    harness = ExperimentHarness(
+        workload=yahoo_like_workload("tiny"),
+        desirability_cases=8,
+        max_evaluation_queries=30,
+        traffic_sample_size=400,
+    )
+    return harness.run()
+
+
+class TestHarnessRun:
+    def test_all_paper_methods_evaluated(self, harness_result):
+        assert set(harness_result.methods) == {
+            "pearson",
+            "simrank",
+            "evidence_simrank",
+            "weighted_simrank",
+        }
+
+    def test_subgraphs_are_nonempty_and_disjoint(self, harness_result):
+        seen = set()
+        for subgraph in harness_result.subgraphs:
+            queries = set(subgraph.queries())
+            assert subgraph.num_edges > 0
+            assert not queries & seen
+            seen |= queries
+
+    def test_evaluation_queries_come_from_the_dataset(self, harness_result):
+        assert harness_result.evaluation_queries
+        for query in harness_result.evaluation_queries:
+            assert harness_result.dataset.has_query(query)
+
+    def test_dataset_statistics_rows(self, harness_result):
+        stats = harness_result.dataset_statistics()
+        assert len(stats) == len(harness_result.subgraphs)
+        assert all(row.num_edges > 0 for row in stats)
+
+    def test_coverage_shape_matches_paper(self, harness_result):
+        """Figure 8 shape: Pearson covers far fewer queries than the SimRank family."""
+        coverage = harness_result.coverage_by_method()
+        assert coverage["pearson"] < coverage["simrank"]
+        assert coverage["simrank"] >= 90.0
+        assert coverage["evidence_simrank"] >= 90.0
+        assert coverage["weighted_simrank"] >= 90.0
+
+    def test_depth_shape_matches_paper(self, harness_result):
+        """Figure 11 shape: the SimRank variants reach full depth far more often than Pearson."""
+        depth = harness_result.depth_by_method()
+        assert depth["weighted_simrank"]["5"] > depth["pearson"]["5"]
+        assert depth["simrank"]["1-5"] > depth["pearson"]["1-5"]
+
+    def test_precision_metrics_are_populated(self, harness_result):
+        for evaluation in harness_result.methods.values():
+            for threshold in RELEVANCE_THRESHOLDS:
+                assert set(evaluation.precision_at_x[threshold]) == {1, 2, 3, 4, 5}
+                for value in evaluation.precision_at_x[threshold].values():
+                    assert 0.0 <= value <= 1.0
+                curve = evaluation.pr_curves[threshold]
+                assert len(curve.precisions) == 11
+        # Strict relevance (grade 1 only) can never have higher precision than
+        # the relaxed threshold for the same method.
+        for evaluation in harness_result.methods.values():
+            assert evaluation.precision_at_x[1][5] <= evaluation.precision_at_x[2][5] + 1e-9
+
+    def test_grades_are_valid(self, harness_result):
+        for evaluation in harness_result.methods.values():
+            for grade in evaluation.grades.values():
+                assert 1 <= grade <= 4
+            assert 0.0 <= evaluation.mean_grade() <= 4.0
+
+    def test_desirability_results(self, harness_result):
+        assert set(harness_result.desirability) == {
+            "simrank",
+            "evidence_simrank",
+            "weighted_simrank",
+        }
+        for result in harness_result.desirability.values():
+            assert result.total > 0
+            assert 0.0 <= result.percentage <= 100.0
+
+    def test_accessors_are_consistent(self, harness_result):
+        assert harness_result.coverage_by_method().keys() == harness_result.methods.keys()
+        assert set(harness_result.desirability_by_method()) == set(harness_result.desirability)
+        curves = harness_result.pr_curve_by_method(2)
+        assert set(curves) == set(harness_result.methods)
+
+
+class TestHarnessOptions:
+    def test_component_based_subgraphs(self, tiny_workload):
+        harness = ExperimentHarness(
+            workload=tiny_workload,
+            use_partitioning=False,
+            desirability_cases=0,
+            max_evaluation_queries=10,
+            traffic_sample_size=100,
+        )
+        result = harness.run()
+        assert result.subgraphs
+        assert result.desirability == {}
+
+    def test_method_subset_and_custom_config(self, tiny_workload):
+        harness = ExperimentHarness(
+            workload=tiny_workload,
+            methods=["simrank", "weighted_simrank"],
+            config=SimrankConfig(iterations=3, zero_evidence_floor=0.05),
+            desirability_cases=0,
+            max_evaluation_queries=10,
+            traffic_sample_size=100,
+        )
+        result = harness.run()
+        assert set(result.methods) == {"simrank", "weighted_simrank"}

@@ -1,0 +1,66 @@
+"""Tests for connected components and BFS balls."""
+
+import pytest
+
+from repro.graph.click_graph import ClickGraph
+from repro.graph.components import bfs_ball, component_of, connected_components, largest_component
+
+
+def test_figure3_has_two_components(fig3_graph):
+    components = connected_components(fig3_graph)
+    assert len(components) == 2
+    queries, ads = components[0]
+    # The electronics cluster is the larger component.
+    assert queries == {"pc", "camera", "digital camera", "tv"}
+    assert ads == {"hp.com", "bestbuy.com"}
+    assert components[1][0] == {"flower"}
+
+
+def test_largest_component_subgraph(fig3_graph):
+    giant = largest_component(fig3_graph)
+    assert giant.num_queries == 4
+    assert not giant.has_query("flower")
+
+
+def test_component_of(fig3_graph):
+    queries, ads = component_of(fig3_graph, "flower")
+    assert queries == {"flower"}
+    assert ads == {"teleflora.com", "orchids.com"}
+
+
+def test_component_of_unknown_query_raises(fig3_graph):
+    with pytest.raises(KeyError):
+        component_of(fig3_graph, "missing query")
+
+
+def test_isolated_nodes_form_singleton_components():
+    graph = ClickGraph()
+    graph.add_query("alone")
+    graph.add_ad("lonely-ad")
+    components = connected_components(graph)
+    assert len(components) == 2
+
+
+def test_bfs_ball_radius_zero_and_growth(fig3_graph):
+    queries, ads = bfs_ball(fig3_graph, "pc", 0)
+    assert queries == {"pc"} and ads == set()
+    queries1, ads1 = bfs_ball(fig3_graph, "pc", 1)
+    assert ads1 == {"hp.com"}
+    queries2, ads2 = bfs_ball(fig3_graph, "pc", 2)
+    assert queries2 == {"pc", "camera", "digital camera"}
+    queries4, ads4 = bfs_ball(fig3_graph, "pc", 4)
+    assert queries4 == {"pc", "camera", "digital camera", "tv"}
+    assert ads4 == {"hp.com", "bestbuy.com"}
+
+
+def test_bfs_ball_never_leaves_component(fig3_graph):
+    queries, ads = bfs_ball(fig3_graph, "flower", 10)
+    assert queries == {"flower"}
+    assert ads == {"teleflora.com", "orchids.com"}
+
+
+def test_bfs_ball_validation(fig3_graph):
+    with pytest.raises(KeyError):
+        bfs_ball(fig3_graph, "not a query", 2)
+    with pytest.raises(ValueError):
+        bfs_ball(fig3_graph, "pc", -1)

@@ -1,0 +1,89 @@
+"""Round-trip tests for TSV / JSONL files and the SQLite store."""
+
+import pytest
+
+from repro.graph.click_graph import ClickGraph
+from repro.graph.io import read_edges_jsonl, read_edges_tsv, write_edges_jsonl, write_edges_tsv
+from repro.graph.storage import ClickGraphStore
+
+
+class TestFlatFiles:
+    def test_tsv_round_trip(self, small_weighted_graph, tmp_path):
+        path = tmp_path / "edges.tsv"
+        written = write_edges_tsv(small_weighted_graph, path)
+        assert written == small_weighted_graph.num_edges
+        loaded = read_edges_tsv(path)
+        assert loaded == small_weighted_graph
+
+    def test_jsonl_round_trip(self, small_weighted_graph, tmp_path):
+        path = tmp_path / "edges.jsonl"
+        written = write_edges_jsonl(small_weighted_graph, path)
+        assert written == small_weighted_graph.num_edges
+        loaded = read_edges_jsonl(path)
+        assert loaded == small_weighted_graph
+
+    def test_tsv_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("not\tthe\theader\n")
+        with pytest.raises(ValueError):
+            read_edges_tsv(path)
+
+    def test_tsv_rejects_malformed_row(self, tmp_path):
+        path = tmp_path / "bad_rows.tsv"
+        path.write_text("query\tad\timpressions\tclicks\texpected_click_rate\nq\ta\t3\n")
+        with pytest.raises(ValueError):
+            read_edges_tsv(path)
+
+    def test_jsonl_rejects_missing_field(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"query": "q", "ad": "a", "clicks": 1}\n')
+        with pytest.raises(ValueError):
+            read_edges_jsonl(path)
+
+
+class TestClickGraphStore:
+    def test_save_and_load_graph(self, small_weighted_graph, tmp_path):
+        with ClickGraphStore(tmp_path / "clicks.db") as store:
+            stored = store.save_graph("two-week", small_weighted_graph)
+            assert stored == small_weighted_graph.num_edges
+            loaded = store.load_graph("two-week")
+        assert loaded == small_weighted_graph
+
+    def test_in_memory_store(self, fig3_graph):
+        store = ClickGraphStore()
+        store.save_graph("sample", fig3_graph)
+        assert store.edge_count("sample") == fig3_graph.num_edges
+        assert store.list_graphs() == ["sample"]
+        store.close()
+
+    def test_load_unknown_graph_raises(self):
+        with ClickGraphStore() as store:
+            with pytest.raises(KeyError):
+                store.load_graph("nope")
+
+    def test_replace_false_protects_existing(self, fig3_graph):
+        with ClickGraphStore() as store:
+            store.save_graph("g", fig3_graph)
+            with pytest.raises(ValueError):
+                store.save_graph("g", fig3_graph, replace=False)
+
+    def test_delete_graph(self, fig3_graph):
+        with ClickGraphStore() as store:
+            store.save_graph("g", fig3_graph)
+            store.delete_graph("g")
+            assert store.list_graphs() == []
+            # Deleting again is a no-op.
+            store.delete_graph("g")
+
+    def test_bid_terms_round_trip(self):
+        with ClickGraphStore() as store:
+            count = store.save_bid_terms("period-1", ["camera", "pc", "camera"])
+            assert count == 2
+            assert store.load_bid_terms("period-1") == {"camera", "pc"}
+            assert store.load_bid_terms("unknown") == set()
+
+    def test_query_neighbors_without_loading_graph(self, fig3_graph):
+        with ClickGraphStore() as store:
+            store.save_graph("sample", fig3_graph)
+            neighbors = store.query_neighbors("sample", "camera")
+        assert set(neighbors) == {"hp.com", "bestbuy.com"}

@@ -1,0 +1,106 @@
+"""Tests for conductance, sweep cuts, PageRank-Nibble and subgraph extraction."""
+
+import random
+
+import pytest
+
+from repro.graph.click_graph import ClickGraph
+from repro.partition.conductance import conductance, cut_size, sweep_cut, volume
+from repro.partition.extraction import extract_subgraphs
+from repro.partition.nibble import pagerank_nibble
+from repro.partition.pagerank import approximate_personalized_pagerank
+from repro.synth.scenarios import complete_bipartite_graph
+
+
+def _two_cluster_graph() -> ClickGraph:
+    """Two dense bipartite clusters joined by a single bridge edge."""
+    graph = ClickGraph()
+    for i in range(4):
+        for j in range(3):
+            graph.add_edge(f"left-q{i}", f"left-a{j}", impressions=10, clicks=2)
+            graph.add_edge(f"right-q{i}", f"right-a{j}", impressions=10, clicks=2)
+    graph.add_edge("left-q0", "right-a0", impressions=10, clicks=1)
+    return graph
+
+
+class TestConductance:
+    def test_volume_and_cut_size(self, fig3_graph):
+        cluster = {("query", "flower"), ("ad", "teleflora.com"), ("ad", "orchids.com")}
+        assert volume(fig3_graph, cluster) == 4
+        assert cut_size(fig3_graph, cluster) == 0
+        assert conductance(fig3_graph, cluster) == 0.0
+
+    def test_conductance_of_partial_cluster(self, fig3_graph):
+        partial = {("query", "camera")}
+        # Both of camera's edges cross the cut; volume is 2.
+        assert conductance(fig3_graph, partial) == pytest.approx(1.0)
+
+    def test_empty_set_has_infinite_conductance(self, fig3_graph):
+        assert conductance(fig3_graph, set()) == float("inf")
+
+    def test_sweep_cut_finds_the_planted_cluster(self):
+        graph = _two_cluster_graph()
+        seed = ("query", "left-q1")
+        scores = approximate_personalized_pagerank(graph, seed, epsilon=1e-6)
+        cluster, phi = sweep_cut(graph, scores)
+        left_nodes = {node for node in cluster if str(node[1]).startswith("left")}
+        assert len(left_nodes) >= 0.8 * len(cluster)
+        assert phi < 0.2
+
+    def test_sweep_cut_empty_scores(self, fig3_graph):
+        cluster, phi = sweep_cut(fig3_graph, {})
+        assert cluster == set()
+        assert phi == float("inf")
+
+
+class TestNibble:
+    def test_nibble_recovers_local_cluster(self):
+        graph = _two_cluster_graph()
+        result = pagerank_nibble(graph, ("query", "left-q0"), epsilon=1e-6)
+        assert "left-q0" in result.queries
+        # The nibble should stay mostly on the left side.
+        left = [q for q in result.queries if str(q).startswith("left")]
+        assert len(left) >= len(result.queries) - 1
+        assert result.conductance < 0.5
+        assert result.size == len(result.nodes)
+
+    def test_nibble_on_complete_bipartite_returns_everything(self):
+        graph = complete_bipartite_graph(3, 3)
+        result = pagerank_nibble(graph, ("query", "q0"), epsilon=1e-7)
+        assert result.queries | result.ads  # non-empty
+        assert result.conductance <= 1.0
+
+
+class TestExtraction:
+    def test_extracts_disjoint_subgraphs(self):
+        graph = _two_cluster_graph()
+        result = extract_subgraphs(graph, num_subgraphs=2, rng=random.Random(0))
+        assert 1 <= result.num_subgraphs <= 2
+        seen_queries = set()
+        for subgraph in result.subgraphs:
+            queries = set(subgraph.queries())
+            assert not (queries & seen_queries), "subgraphs must be disjoint"
+            seen_queries |= queries
+            assert subgraph.num_edges > 0
+
+    def test_extraction_on_synthetic_workload(self, tiny_workload):
+        from repro.graph.components import largest_component
+
+        giant = largest_component(tiny_workload.click_graph)
+        result = extract_subgraphs(giant, num_subgraphs=3, rng=random.Random(1))
+        assert result.num_subgraphs >= 1
+        combined = result.combined()
+        assert combined.num_queries <= giant.num_queries
+        assert combined.num_edges > 0
+
+    def test_invalid_num_subgraphs(self, fig3_graph):
+        with pytest.raises(ValueError):
+            extract_subgraphs(fig3_graph, num_subgraphs=0)
+
+    def test_explicit_seeds_are_used_first(self):
+        graph = _two_cluster_graph()
+        result = extract_subgraphs(
+            graph, num_subgraphs=1, seeds=[("query", "right-q0")], rng=random.Random(0)
+        )
+        assert result.num_subgraphs == 1
+        assert any(str(q).startswith("right") for q in result.subgraphs[0].queries())

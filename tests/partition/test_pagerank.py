@@ -1,0 +1,84 @@
+"""Tests for exact and approximate personalized PageRank."""
+
+import pytest
+
+from repro.graph.click_graph import ClickGraph
+from repro.partition.pagerank import (
+    approximate_personalized_pagerank,
+    node_degree,
+    node_neighbors,
+    personalized_pagerank,
+)
+
+
+def test_node_helpers(fig3_graph):
+    assert set(node_neighbors(fig3_graph, ("query", "camera"))) == {
+        ("ad", "hp.com"),
+        ("ad", "bestbuy.com"),
+    }
+    assert node_degree(fig3_graph, ("query", "camera")) == 2
+    assert node_degree(fig3_graph, ("ad", "hp.com")) == 3
+    with pytest.raises(ValueError):
+        node_degree(fig3_graph, ("widget", "x"))
+
+
+def test_exact_pagerank_sums_to_one(fig3_graph):
+    scores = personalized_pagerank(fig3_graph, ("query", "camera"), alpha=0.2)
+    assert sum(scores.values()) == pytest.approx(1.0, abs=1e-6)
+    # Mass concentrates near the seed and never reaches the flower component.
+    assert scores[("query", "camera")] > scores[("query", "pc")]
+    assert scores[("query", "flower")] == pytest.approx(0.0)
+
+
+def test_exact_pagerank_seed_keeps_at_least_teleport_mass(fig3_graph):
+    scores = personalized_pagerank(fig3_graph, ("query", "pc"), alpha=0.15)
+    # The seed retains at least the teleport probability, and scores decay
+    # with distance from it: its neighbour outranks two-hop nodes.
+    assert scores[("query", "pc")] >= 0.15
+    assert scores[("ad", "hp.com")] > scores[("ad", "bestbuy.com")]
+    assert max(scores, key=scores.get) in {("query", "pc"), ("ad", "hp.com")}
+
+
+def test_exact_pagerank_rejects_bad_inputs(fig3_graph):
+    with pytest.raises(ValueError):
+        personalized_pagerank(fig3_graph, ("query", "pc"), alpha=1.5)
+    with pytest.raises(KeyError):
+        personalized_pagerank(fig3_graph, ("query", "missing"))
+
+
+def test_push_approximates_power_iteration(fig3_graph):
+    """The ACL push procedure runs on the *lazy* random walk; its result with
+    teleport alpha equals the non-lazy personalized PageRank with teleport
+    beta = 2 * alpha / (1 + alpha)."""
+    seed = ("query", "camera")
+    alpha = 0.2
+    beta = 2 * alpha / (1 + alpha)
+    exact = personalized_pagerank(fig3_graph, seed, alpha=beta, tolerance=1e-12)
+    approx = approximate_personalized_pagerank(fig3_graph, seed, alpha=alpha, epsilon=1e-8)
+    for node, value in approx.items():
+        assert value == pytest.approx(exact[node], abs=1e-3)
+    # The push estimate is a lower bound on the exact vector.
+    for node, value in approx.items():
+        assert value <= exact[node] + 1e-6
+
+
+def test_push_stays_local_with_loose_epsilon(tiny_workload):
+    graph = tiny_workload.click_graph
+    seed = ("query", next(iter(graph.queries())))
+    scores = approximate_personalized_pagerank(graph, seed, epsilon=5e-2)
+    # A loose epsilon should only touch a small neighbourhood of the seed.
+    assert 0 < len(scores) < graph.num_nodes
+
+
+def test_push_isolated_seed():
+    graph = ClickGraph()
+    graph.add_query("lonely")
+    scores = approximate_personalized_pagerank(graph, ("query", "lonely"))
+    assert scores == {("query", "lonely"): 1.0}
+
+
+def test_push_rejects_bad_parameters(fig3_graph):
+    with pytest.raises(ValueError):
+        approximate_personalized_pagerank(fig3_graph, ("query", "pc"), alpha=0.0)
+    with pytest.raises(ValueError):
+        approximate_personalized_pagerank(fig3_graph, ("query", "pc"), epsilon=0.0)

@@ -1,0 +1,92 @@
+"""Property-based tests for graph persistence, evidence functions and text utilities."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.evidence import evidence_exponential, evidence_geometric
+from repro.eval.metrics import precision_at_k, precision_recall
+from repro.graph.click_graph import ClickGraph, EdgeStats
+from repro.graph.io import read_edges_jsonl, write_edges_jsonl
+from repro.text.normalize import query_signature, tokenize
+from repro.text.porter import stem
+
+
+@st.composite
+def graphs(draw):
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, 5),
+                st.integers(0, 5),
+                st.integers(1, 100),
+                st.integers(0, 100),
+                st.floats(0.001, 1.0),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    graph = ClickGraph()
+    for q, a, clicks, extra, ecr in edges:
+        graph.add_edge(f"query {q}", f"ad{a}", impressions=clicks + extra, clicks=clicks,
+                       expected_click_rate=round(ecr, 6), merge=True)
+    return graph
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=graphs())
+def test_jsonl_round_trip_preserves_graph(graph, tmp_path_factory):
+    path = tmp_path_factory.mktemp("io") / "edges.jsonl"
+    write_edges_jsonl(graph, path)
+    assert read_edges_jsonl(path) == graph
+
+
+@settings(max_examples=50, deadline=None)
+@given(clicks=st.integers(0, 10_000), extra=st.integers(0, 10_000))
+def test_edge_stats_ctr_is_bounded(clicks, extra):
+    stats = EdgeStats(impressions=clicks + extra, clicks=clicks)
+    assert 0.0 <= stats.click_through_rate <= 1.0
+    assert stats.expected_click_rate == stats.click_through_rate
+
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(0, 60), m=st.integers(0, 60))
+def test_evidence_functions_monotone_and_bounded(n, m):
+    for function in (evidence_geometric, evidence_exponential):
+        # Mathematically < 1, but large counts round to exactly 1.0 in floats.
+        assert 0.0 <= function(n) <= 1.0
+        if n <= m:
+            assert function(n) <= function(m)
+
+
+@settings(max_examples=50, deadline=None)
+@given(word=st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=15))
+def test_stemmer_output_is_nonempty_prefix_compatible(word):
+    stemmed = stem(word)
+    assert stemmed
+    assert len(stemmed) <= len(word)
+    # Stemming twice never grows the word.
+    assert len(stem(stemmed)) <= len(stemmed)
+
+
+@settings(max_examples=50, deadline=None)
+@given(words=st.lists(st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8), min_size=1, max_size=5))
+def test_query_signature_is_order_invariant(words):
+    forward = " ".join(words)
+    backward = " ".join(reversed(words))
+    assert query_signature(forward) == query_signature(backward)
+    assert len(query_signature(forward)) == len(tokenize(forward))
+
+
+@settings(max_examples=50, deadline=None)
+@given(flags=st.lists(st.booleans(), min_size=1, max_size=10), extra_pool=st.integers(0, 10))
+def test_precision_recall_bounds(flags, extra_pool):
+    # The pooled relevant count is always at least the number of relevant
+    # rewrites this method returned (they are part of the pool).
+    pool = sum(flags) + extra_pool
+    precision, recall = precision_recall(flags, pool)
+    assert 0.0 <= precision <= 1.0
+    assert 0.0 <= recall <= 1.0
+    for k in range(1, len(flags) + 1):
+        assert 0.0 <= precision_at_k(flags, k) <= 1.0

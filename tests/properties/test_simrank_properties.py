@@ -1,0 +1,139 @@
+"""Property-based tests for the SimRank family on random bipartite click graphs."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import SimrankConfig
+from repro.core.evidence_simrank import EvidenceSimrank
+from repro.core.simrank import BipartiteSimrank
+from repro.core.simrank_matrix import MatrixSimrank
+from repro.core.weighted_simrank import WeightedSimrank
+from repro.graph.click_graph import ClickGraph
+
+
+@st.composite
+def click_graphs(draw, max_queries=6, max_ads=5):
+    """Random small weighted bipartite click graphs with at least one edge."""
+    num_queries = draw(st.integers(min_value=1, max_value=max_queries))
+    num_ads = draw(st.integers(min_value=1, max_value=max_ads))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_queries - 1),
+                st.integers(0, num_ads - 1),
+                st.integers(1, 50),          # clicks
+                st.integers(0, 200),         # extra impressions on top of clicks
+                st.floats(0.01, 0.9),        # expected click rate
+            ),
+            min_size=1,
+            max_size=14,
+        )
+    )
+    graph = ClickGraph()
+    for query_index, ad_index, clicks, extra, ecr in edges:
+        graph.add_edge(
+            f"q{query_index}",
+            f"a{ad_index}",
+            impressions=clicks + extra,
+            clicks=clicks,
+            expected_click_rate=ecr,
+            merge=True,
+        )
+    return graph
+
+
+CONFIG = SimrankConfig(iterations=5)
+FLOOR_CONFIG = SimrankConfig(iterations=5, zero_evidence_floor=0.1)
+METHOD_FACTORIES = [
+    lambda: BipartiteSimrank(CONFIG),
+    lambda: EvidenceSimrank(CONFIG),
+    lambda: WeightedSimrank(CONFIG),
+    lambda: MatrixSimrank(CONFIG, mode="weighted"),
+]
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=click_graphs(), method_index=st.integers(0, len(METHOD_FACTORIES) - 1))
+def test_scores_are_symmetric_and_bounded(graph, method_index):
+    """Every method produces symmetric scores in [0, 1] with unit self-similarity."""
+    method = METHOD_FACTORIES[method_index]().fit(graph)
+    queries = sorted(graph.queries(), key=repr)
+    for i, first in enumerate(queries):
+        assert method.query_similarity(first, first) == 1.0
+        for second in queries[i + 1:]:
+            value = method.query_similarity(first, second)
+            assert -1e-12 <= value <= 1.0 + 1e-9
+            assert value == pytest.approx(method.query_similarity(second, first), abs=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=click_graphs())
+def test_matrix_engine_matches_reference_simrank(graph):
+    """The dense-matrix engine computes the same fixpoint as the reference code."""
+    reference = BipartiteSimrank(CONFIG).fit(graph)
+    matrix = MatrixSimrank(CONFIG, mode="simrank").fit(graph)
+    queries = sorted(graph.queries(), key=repr)
+    for i, first in enumerate(queries):
+        for second in queries[i + 1:]:
+            assert matrix.query_similarity(first, second) == pytest.approx(
+                reference.query_similarity(first, second), abs=1e-9
+            )
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=click_graphs())
+def test_evidence_never_increases_scores(graph):
+    """Evidence factors are <= 1, so evidence-based scores never exceed plain SimRank."""
+    plain = BipartiteSimrank(CONFIG).fit(graph)
+    evidence = EvidenceSimrank(CONFIG).fit(graph)
+    for first, second, value in evidence.similarities().pairs():
+        assert value <= plain.query_similarity(first, second) + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=click_graphs())
+def test_zero_evidence_floor_only_adds_pairs(graph):
+    """A floor can only add (or keep) pairs relative to the strict evidence scores."""
+    strict = EvidenceSimrank(CONFIG).fit(graph)
+    floored = EvidenceSimrank(FLOOR_CONFIG).fit(graph)
+    for first, second, value in strict.similarities().pairs():
+        if value > 0:
+            assert floored.query_similarity(first, second) > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=click_graphs())
+def test_disconnected_components_never_become_similar(graph):
+    """Queries in different connected components always score zero."""
+    from repro.graph.components import connected_components
+
+    components = connected_components(graph)
+    if len(components) < 2:
+        return
+    method = WeightedSimrank(CONFIG).fit(graph)
+    first_queries = sorted(components[0][0], key=repr)
+    second_queries = sorted(components[1][0], key=repr)
+    if not first_queries or not second_queries:
+        return
+    assert method.query_similarity(first_queries[0], second_queries[0]) == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=click_graphs(), c=st.floats(0.5, 0.95))
+def test_scores_monotone_in_iterations(graph, c):
+    """Plain SimRank scores are non-decreasing in the iteration count."""
+    few = BipartiteSimrank(SimrankConfig(c1=c, c2=c, iterations=2)).fit(graph)
+    many = BipartiteSimrank(SimrankConfig(c1=c, c2=c, iterations=6)).fit(graph)
+    for first, second, value in few.similarities().pairs():
+        assert many.query_similarity(first, second) >= value - 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=click_graphs())
+def test_scores_bounded_by_decay_factor(graph):
+    """Off-diagonal query scores never exceed C1 (one decay factor is always paid)."""
+    method = BipartiteSimrank(CONFIG).fit(graph)
+    for _, _, value in method.similarities().pairs():
+        assert value <= CONFIG.c1 + 1e-12

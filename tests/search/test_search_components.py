@@ -1,0 +1,180 @@
+"""Unit tests for the sponsored-search simulator components."""
+
+import random
+
+import pytest
+
+from repro.search.ads import Ad, AdDatabase
+from repro.search.backend import Backend
+from repro.search.bids import Bid, BidDatabase
+from repro.search.click_model import PositionBiasedClickModel
+from repro.search.frontend import FrontEnd
+from repro.search.query_log import ClickLogRecord, QueryLog
+from repro.search.user_model import TopicalUserModel
+from repro.synth.vocabulary import build_topic_model
+
+
+class TestAdDatabase:
+    def test_add_and_lookup(self):
+        database = AdDatabase()
+        database.add(Ad(ad_id="hp.com/camera-1", advertiser="hp.com", landing_page="hp.com", topic="photography"))
+        assert "hp.com/camera-1" in database
+        assert len(database) == 1
+        assert database.by_topic("photography")[0].advertiser == "hp.com"
+        assert database.by_advertiser("hp.com")
+
+    def test_duplicate_id_rejected(self):
+        database = AdDatabase()
+        ad = Ad(ad_id="x", advertiser="a", landing_page="l")
+        database.add(ad)
+        with pytest.raises(ValueError):
+            database.add(ad)
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            Ad(ad_id="", advertiser="a", landing_page="l")
+
+    def test_from_workload_ads(self, tiny_workload):
+        database = AdDatabase.from_workload_ads(tiny_workload.ad_topics)
+        assert len(database) == len(tiny_workload.ad_topics)
+        some_ad = next(iter(database))
+        assert some_ad.advertiser in some_ad.ad_id
+
+
+class TestBidDatabase:
+    def test_bids_sorted_by_price(self):
+        bids = BidDatabase([Bid("camera", "a1", 0.5), Bid("camera", "a2", 1.5)])
+        assert [bid.ad_id for bid in bids.bids_for("camera")] == ["a2", "a1"]
+        assert bids.has_bids("camera")
+        assert not bids.has_bids("tv")
+        assert bids.bid_terms() == {"camera"}
+        assert len(bids) == 2
+
+    def test_nonpositive_price_rejected(self):
+        with pytest.raises(ValueError):
+            Bid("q", "a", 0.0)
+
+
+class TestClickModel:
+    def test_examination_decays_with_position(self):
+        model = PositionBiasedClickModel(decay=0.6, max_positions=4)
+        probabilities = [model.examination_probability(p) for p in range(1, 6)]
+        assert probabilities[0] == 1.0
+        assert probabilities[:4] == sorted(probabilities[:4], reverse=True)
+        assert probabilities[4] == 0.0
+
+    def test_click_probability_combines_relevance(self):
+        model = PositionBiasedClickModel(decay=0.5)
+        assert model.click_probability(2, 0.8) == pytest.approx(0.4)
+        with pytest.raises(ValueError):
+            model.click_probability(1, 1.2)
+        with pytest.raises(ValueError):
+            model.click_probability(0, 0.5)
+
+    def test_expected_clicks(self):
+        model = PositionBiasedClickModel(decay=0.5)
+        assert model.expected_clicks([1.0, 1.0]) == pytest.approx(1.5)
+
+    def test_simulate_click_extremes(self):
+        model = PositionBiasedClickModel()
+        rng = random.Random(0)
+        assert not model.simulate_click(1, 0.0, rng)
+        assert model.simulate_click(1, 1.0, rng)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PositionBiasedClickModel(decay=0.0)
+        with pytest.raises(ValueError):
+            PositionBiasedClickModel(max_positions=0)
+
+
+class TestUserModel:
+    def test_relevance_respects_topics(self, tiny_workload):
+        user_model = TopicalUserModel(
+            tiny_workload.topic_model,
+            tiny_workload.query_topics,
+            tiny_workload.ad_topics,
+            noise=0.0,
+        )
+        query = next(q for q, t in tiny_workload.query_topics.items() if t == "photography")
+        same_ad = next(a for a, t in tiny_workload.ad_topics.items() if t == "photography")
+        other_ad = next(a for a, t in tiny_workload.ad_topics.items() if t == "flowers")
+        assert user_model.relevance(query, same_ad) > user_model.relevance(query, other_ad)
+
+    def test_unknown_query_gets_low_relevance(self, tiny_workload):
+        user_model = TopicalUserModel(
+            tiny_workload.topic_model,
+            tiny_workload.query_topics,
+            tiny_workload.ad_topics,
+            noise=0.0,
+        )
+        ad = next(iter(tiny_workload.ad_topics))
+        assert user_model.relevance("query from mars", ad) <= 0.05
+
+
+class TestBackend:
+    def _backend(self):
+        ads = AdDatabase(
+            [
+                Ad("a1", "adv1", "l1", topic="photography"),
+                Ad("a2", "adv2", "l2", topic="photography"),
+                Ad("a3", "adv3", "l3", topic="flowers"),
+            ]
+        )
+        bids = BidDatabase(
+            [Bid("camera", "a1", 1.0), Bid("camera", "a2", 2.0), Bid("flower", "a3", 1.0)]
+        )
+        return Backend(ads, bids, num_slots=2, default_click_rate=0.1)
+
+    def test_serve_ranks_by_bid_times_ecr(self):
+        backend = self._backend()
+        page = backend.serve("camera")
+        assert [p.ad_id for p in page.placements] == ["a2", "a1"]
+        assert [p.position for p in page.placements] == [1, 2]
+
+    def test_rewrites_expand_the_candidate_set(self):
+        backend = self._backend()
+        page = backend.serve("camera", rewrites=["flower"])
+        assert {p.ad_id for p in page.placements} <= {"a1", "a2", "a3"}
+        assert page.num_ads == 2
+        matched = {p.ad_id: p.matched_query for p in page.placements}
+        if "a3" in matched:
+            assert matched["a3"] == "flower"
+
+    def test_feedback_updates_expected_click_rate(self):
+        backend = self._backend()
+        assert backend.expected_click_rate("camera", "a1") == pytest.approx(0.1)
+        backend.record_impression("camera", "a1", position=1, clicked=True)
+        backend.record_impression("camera", "a1", position=1, clicked=True)
+        backend.record_impression("camera", "a1", position=1, clicked=False)
+        assert backend.expected_click_rate("camera", "a1") == pytest.approx(2 / 3)
+        assert backend.impressions("camera", "a1") == 3
+        assert backend.clicks("camera", "a1") == 2
+        assert ("camera", "a1") in backend.observed_pairs()
+
+    def test_num_slots_validation(self):
+        with pytest.raises(ValueError):
+            Backend(AdDatabase(), BidDatabase(), num_slots=0)
+
+
+class TestFrontEndAndLog:
+    def test_frontend_without_rewriter_passes_through(self):
+        assert FrontEnd().rewrites("camera") == []
+
+    def test_query_log_round_trip(self, tmp_path):
+        log = QueryLog()
+        log.extend(
+            [
+                ClickLogRecord("camera", "a1", 1, True, matched_query="camera"),
+                ClickLogRecord("camera", "a2", 2, False, matched_query="digital camera"),
+            ]
+        )
+        assert len(log) == 2
+        assert log.click_count() == 1
+        path = tmp_path / "log.jsonl"
+        assert log.write_jsonl(path) == 2
+        loaded = QueryLog.read_jsonl(path)
+        assert len(loaded) == 2
+        impressions = list(loaded.impressions())
+        assert impressions[0].clicked is True
+        assert impressions[1].position == 2

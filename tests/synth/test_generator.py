@@ -1,0 +1,114 @@
+"""Tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.graph.statistics import degree_distribution
+from repro.graph.validation import validate_click_graph
+from repro.synth.generator import SyntheticWorkload, WorkloadConfig, generate_workload
+from repro.synth.topics import TopicRelation
+from repro.synth.yahoo_like import TINY_WORKLOAD, yahoo_like_workload
+
+
+class TestWorkloadConfig:
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(same_subtopic_probability=0.7, same_topic_probability=0.3, related_topic_probability=0.2)
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(queries_per_topic=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(subtopics_per_topic=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(bid_fraction=1.5)
+
+
+class TestGeneratedWorkload:
+    def test_workload_is_reproducible(self):
+        first = generate_workload(TINY_WORKLOAD)
+        second = generate_workload(TINY_WORKLOAD)
+        assert first.click_graph == second.click_graph
+        assert first.bid_terms == second.bid_terms
+        assert first.traffic == second.traffic
+
+    def test_different_seeds_differ(self):
+        config = WorkloadConfig(**{**TINY_WORKLOAD.__dict__, "seed": 99})
+        assert generate_workload(config).click_graph != generate_workload(TINY_WORKLOAD).click_graph
+
+    def test_every_graph_query_has_a_topic(self, tiny_workload):
+        for query in tiny_workload.click_graph.queries():
+            assert tiny_workload.topic_of_query(query) in tiny_workload.topic_model.topic_names()
+        for ad in tiny_workload.click_graph.ads():
+            assert tiny_workload.topic_of_ad(ad) in tiny_workload.topic_model.topic_names()
+
+    def test_graph_is_valid(self, tiny_workload):
+        errors = [
+            issue for issue in validate_click_graph(tiny_workload.click_graph)
+            if issue.severity == "error"
+        ]
+        assert errors == []
+
+    def test_bid_terms_are_real_queries(self, tiny_workload):
+        assert tiny_workload.bid_terms <= set(tiny_workload.query_topics)
+        expected = TINY_WORKLOAD.bid_fraction * len(tiny_workload.query_topics)
+        assert len(tiny_workload.bid_terms) == pytest.approx(expected, abs=1)
+
+    def test_traffic_contains_clicked_and_unclicked_queries(self, tiny_workload):
+        traffic_set = set(tiny_workload.traffic)
+        assert traffic_set & set(tiny_workload.query_topics)
+        assert traffic_set & set(tiny_workload.unclicked_queries)
+        assert len(tiny_workload.traffic) == TINY_WORKLOAD.traffic_length
+
+    def test_relation_between_queries(self, tiny_workload):
+        queries = list(tiny_workload.query_topics)
+        by_topic = {}
+        for query, topic in tiny_workload.query_topics.items():
+            by_topic.setdefault(topic, []).append(query)
+        photo = by_topic["photography"]
+        flowers = by_topic["flowers"]
+        assert tiny_workload.relation_between(photo[0], photo[1]) is TopicRelation.SAME
+        assert tiny_workload.relation_between(photo[0], flowers[0]) is TopicRelation.UNRELATED
+        assert (
+            tiny_workload.relation_between(photo[0], "never seen query")
+            is TopicRelation.UNRELATED
+        )
+
+    def test_weights_reflect_topical_affinity(self, tiny_workload):
+        """On-topic edges carry a higher average expected click rate than off-topic ones."""
+        graph = tiny_workload.click_graph
+        on_topic, off_topic = [], []
+        for query, ad, stats in graph.edges():
+            same = tiny_workload.topic_of_query(query) == tiny_workload.topic_of_ad(ad)
+            (on_topic if same else off_topic).append(stats.expected_click_rate)
+        assert on_topic and off_topic
+        assert sum(on_topic) / len(on_topic) > sum(off_topic) / len(off_topic)
+
+    def test_degree_distributions_are_heavy_tailed(self):
+        workload = yahoo_like_workload("small")
+        ads_per_query = degree_distribution(workload.click_graph, side="query")
+        queries_per_ad = degree_distribution(workload.click_graph, side="ad")
+        assert ads_per_query.max > 3 * max(1, int(ads_per_query.mean))
+        assert queries_per_ad.max > queries_per_ad.mean
+
+    def test_subtopic_assignments_cover_all_nodes(self, tiny_workload):
+        assert set(tiny_workload.query_subtopics) == set(tiny_workload.query_topics)
+        assert set(tiny_workload.ad_subtopics) == set(tiny_workload.ad_topics)
+        for topic, subtopic in tiny_workload.query_subtopics.values():
+            assert 0 <= subtopic < TINY_WORKLOAD.subtopics_per_topic
+
+
+class TestPresets:
+    def test_preset_sizes_are_ordered(self):
+        tiny = yahoo_like_workload("tiny")
+        small = yahoo_like_workload("small")
+        assert small.click_graph.num_queries > tiny.click_graph.num_queries
+        assert small.click_graph.num_edges > tiny.click_graph.num_edges
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError):
+            yahoo_like_workload("galactic")
+
+    def test_seed_override(self):
+        default = yahoo_like_workload("tiny")
+        reseeded = yahoo_like_workload("tiny", seed=12345)
+        assert default.click_graph != reseeded.click_graph

@@ -1,0 +1,90 @@
+"""Tests for the topic model, built-in vocabularies and paper scenario graphs."""
+
+import pytest
+
+from repro.synth.scenarios import (
+    complete_bipartite_graph,
+    figure3_graph,
+    figure4_graphs,
+    figure5_graphs,
+    figure6_graphs,
+)
+from repro.synth.topics import Topic, TopicModel, TopicRelation
+from repro.synth.vocabulary import DEFAULT_TOPIC_SPECS, build_topic_model
+
+
+class TestTopicModel:
+    def test_relations(self):
+        model = build_topic_model(["photography", "computers", "flowers"])
+        assert model.relation("photography", "photography") is TopicRelation.SAME
+        assert model.relation("photography", "computers") is TopicRelation.RELATED
+        assert model.relation("photography", "flowers") is TopicRelation.UNRELATED
+        assert model.are_related("computers", "photography")
+
+    def test_related_topics_listing(self):
+        model = build_topic_model()
+        assert "hotels" in model.related_topics("travel")
+        assert "travel" in model.related_topics("hotels")
+
+    def test_duplicate_topic_rejected(self):
+        topic = Topic(name="t", terms=("a",), brands=("b.com",))
+        with pytest.raises(ValueError):
+            TopicModel([topic, topic])
+
+    def test_relation_validation(self):
+        model = build_topic_model(["photography", "computers"])
+        with pytest.raises(KeyError):
+            model.add_relation("photography", "nonexistent")
+        with pytest.raises(ValueError):
+            model.add_relation("photography", "photography")
+
+    def test_topic_requires_terms_and_brands(self):
+        with pytest.raises(ValueError):
+            Topic(name="empty", terms=(), brands=("x.com",))
+        with pytest.raises(ValueError):
+            Topic(name="empty", terms=("a",), brands=())
+
+    def test_build_with_unknown_topic_name(self):
+        with pytest.raises(KeyError):
+            build_topic_model(["no-such-vertical"])
+
+    def test_default_specs_are_well_formed(self):
+        model = build_topic_model()
+        assert len(model) == len(DEFAULT_TOPIC_SPECS)
+        for name in model.topic_names():
+            topic = model.topic(name)
+            assert len(topic.terms) >= 5
+            assert len(topic.brands) >= 3
+
+
+class TestScenarioGraphs:
+    def test_figure3_structure(self):
+        graph = figure3_graph()
+        assert graph.num_queries == 5
+        assert graph.num_ads == 4
+        assert graph.num_edges == 8
+        # Every edge carries exactly one click (unweighted graph).
+        assert all(stats.clicks == 1 for _, _, stats in graph.edges())
+
+    def test_figure4_are_complete_bipartite(self):
+        k22, k12 = figure4_graphs()
+        assert k22.num_edges == 4 and k22.num_queries == 2 and k22.num_ads == 2
+        assert k12.num_edges == 2 and k12.num_queries == 2 and k12.num_ads == 1
+
+    def test_figure5_and_6_weighting(self):
+        balanced, skewed = figure5_graphs()
+        balanced_weights = sorted(s.clicks for _, _, s in balanced.edges())
+        skewed_weights = sorted(s.clicks for _, _, s in skewed.edges())
+        assert balanced_weights == [100, 100]
+        assert skewed_weights == [1, 100]
+        heavy, light = figure6_graphs()
+        assert all(s.clicks == 100 for _, _, s in heavy.edges())
+        assert all(s.clicks == 1 for _, _, s in light.edges())
+
+    def test_complete_bipartite_generator(self):
+        graph = complete_bipartite_graph(3, 4)
+        assert graph.num_queries == 3
+        assert graph.num_ads == 4
+        assert graph.num_edges == 12
+        with pytest.raises(ValueError):
+            complete_bipartite_graph(0, 2)

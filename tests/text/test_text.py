@@ -1,0 +1,87 @@
+"""Tests for the Porter stemmer, tokenization and query signatures."""
+
+import pytest
+
+from repro.text.normalize import normalize_query, query_signature, tokenize
+from repro.text.porter import PorterStemmer, stem
+
+
+class TestPorterStemmer:
+    @pytest.mark.parametrize(
+        "word, expected",
+        [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubling", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("falling", "fall"),
+            ("happy", "happi"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("vietnamization", "vietnam"),
+            ("digitizer", "digit"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("hopefulness", "hope"),
+            ("formalize", "formal"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("activate", "activ"),
+            ("effective", "effect"),
+            ("probate", "probat"),
+            ("controlling", "control"),
+            ("rolling", "roll"),
+        ],
+    )
+    def test_known_stems(self, word, expected):
+        assert stem(word) == expected
+
+    def test_short_words_unchanged(self):
+        for word in ("a", "is", "tv", "pc"):
+            assert stem(word) == word
+
+    def test_case_insensitive(self):
+        assert stem("Cameras") == stem("cameras")
+
+    def test_plural_and_singular_collapse(self):
+        assert stem("cameras") == stem("camera")
+        assert stem("flights") == stem("flight")
+        assert stem("hotels") == stem("hotel")
+
+    def test_stemming_is_idempotent_for_common_words(self):
+        for word in ("camera", "running", "flights", "photography", "insurance"):
+            once = stem(word)
+            assert stem(once) == once or len(stem(once)) <= len(once)
+
+    def test_stemmer_class_direct_use(self):
+        stemmer = PorterStemmer()
+        assert stemmer.stem("connections") == "connect"
+
+
+class TestNormalization:
+    def test_tokenize_lowercases_and_splits(self):
+        assert tokenize("Digital  CAMERA, 10x zoom!") == ["digital", "camera", "10x", "zoom"]
+
+    def test_normalize_query(self):
+        assert normalize_query("  Digital   Camera ") == "digital camera"
+
+    def test_signature_ignores_order_and_inflection(self):
+        assert query_signature("digital cameras") == query_signature("camera digital")
+        assert query_signature("running shoe") == query_signature("running shoes")
+
+    def test_signature_distinguishes_different_queries(self):
+        assert query_signature("digital camera") != query_signature("digital tv")
+
+    def test_signature_of_non_string_input(self):
+        assert query_signature(42) == ("42",)
