@@ -1,0 +1,122 @@
+"""Serving-latency baseline: cold fit vs cached RewriteEngine batches.
+
+Not a paper experiment, but the number every future serving PR (sharding,
+async, incremental fit) is measured against: over a 1k-query traffic sample,
+the second ``rewrite_batch`` pass must be served entirely from the engine
+cache and come in at least 10x faster than the first.
+
+Run the gate and the throughput figures with::
+
+    PYTHONPATH=src python -m pytest -q -s benchmarks/bench_engine_serving.py
+    PYTHONPATH=src python benchmarks/bench_engine_serving.py
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.api.config import EngineConfig
+from repro.api.engine import RewriteEngine
+from repro.core.config import SimrankConfig
+from repro.synth.yahoo_like import yahoo_like_workload
+
+WORKLOAD_QUERIES = 1000
+SPEEDUP_FLOOR = 10.0
+
+ENGINE_CONFIG = EngineConfig(
+    method="weighted_simrank",
+    similarity=SimrankConfig(iterations=7, zero_evidence_floor=0.1),
+)
+
+
+def build_engine():
+    """A fitted engine over the tiny Yahoo!-like click graph, bid terms included."""
+    workload = yahoo_like_workload("tiny")
+    bid_terms = {str(term) for term in workload.bid_terms}
+    return RewriteEngine.from_graph(workload.click_graph, ENGINE_CONFIG, bid_terms=bid_terms)
+
+
+def traffic_sample(graph, size=WORKLOAD_QUERIES, seed=7):
+    """A serving-shaped workload: ``size`` queries drawn with repetition."""
+    queries = sorted(str(query) for query in graph.queries())
+    rng = random.Random(seed)
+    return [rng.choice(queries) for _ in range(size)]
+
+
+def timed_passes(engine):
+    """(cold_seconds, warm_seconds) for two identical 1k-query batches."""
+    engine.fit()
+    queries = traffic_sample(engine.graph)
+    start = time.perf_counter()
+    engine.rewrite_batch(queries)
+    cold = time.perf_counter() - start
+    start = time.perf_counter()
+    engine.rewrite_batch(queries)
+    warm = time.perf_counter() - start
+    return cold, warm
+
+
+def test_cached_batch_is_at_least_10x_faster():
+    """The acceptance gate: pass two >= 10x pass one on the same 1k queries."""
+    engine = build_engine()
+    cold, warm = timed_passes(engine)
+    info = engine.cache_info()
+    assert info.hits >= WORKLOAD_QUERIES  # the whole second pass was cache hits
+    assert warm > 0
+    speedup = cold / warm
+    print(
+        f"\ncold pass {cold * 1000:.2f} ms, cached pass {warm * 1000:.2f} ms, "
+        f"speedup {speedup:.0f}x (cache: {info.size} entries)"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"cached rewrite_batch only {speedup:.1f}x faster than the cold pass "
+        f"(floor: {SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_cold_fit(benchmark):
+    engine = build_engine()
+    benchmark.pedantic(lambda: engine.fit(), rounds=3, iterations=1)
+
+
+def test_cached_rewrite_batch_throughput(benchmark):
+    engine = build_engine().fit()
+    queries = traffic_sample(engine.graph)
+    engine.rewrite_batch(queries)  # warm the cache once
+    benchmark.pedantic(lambda: engine.rewrite_batch(queries), rounds=5, iterations=3)
+
+
+def main() -> None:
+    engine = build_engine()
+    fit_start = time.perf_counter()
+    cold, warm = timed_passes(engine)
+    fit_and_passes = time.perf_counter() - fit_start
+    info = engine.cache_info()
+    print(f"workload: {WORKLOAD_QUERIES} queries over {info.size} unique cache entries")
+    print(f"fit + both passes: {fit_and_passes:.3f} s")
+    print(
+        f"cold pass:   {cold * 1000:8.2f} ms  "
+        f"({WORKLOAD_QUERIES / cold:,.0f} queries/s)"
+    )
+    print(
+        f"cached pass: {warm * 1000:8.2f} ms  "
+        f"({WORKLOAD_QUERIES / warm:,.0f} queries/s)"
+    )
+    print(f"speedup: {cold / warm:.0f}x (floor for the acceptance gate: {SPEEDUP_FLOOR:.0f}x)")
+
+
+if __name__ == "__main__":
+    main()
+
+
+# Keep pytest-benchmark optional: the gate test above runs without the plugin.
+try:  # pragma: no cover - import probe only
+    import pytest_benchmark  # noqa: F401
+except ImportError:  # pragma: no cover
+    test_cold_fit = pytest.mark.skip(reason="pytest-benchmark not installed")(test_cold_fit)
+    test_cached_rewrite_batch_throughput = pytest.mark.skip(
+        reason="pytest-benchmark not installed"
+    )(test_cached_rewrite_batch_throughput)

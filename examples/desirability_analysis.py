@@ -13,7 +13,8 @@ Run with::
 
 import random
 
-from repro import SimrankConfig, create_method
+from repro import SimrankConfig
+from repro.api.registry import create
 from repro.eval.desirability import run_desirability_experiment, select_desirability_cases
 from repro.eval.reporting import format_table
 from repro.graph.components import largest_component
@@ -27,7 +28,7 @@ def main() -> None:
 
     config = SimrankConfig(iterations=7, zero_evidence_floor=0.1)
     factories = {
-        name: (lambda name=name: create_method(name, config=config))
+        name: (lambda name=name: create(name, config=config))
         for name in ("simrank", "evidence_simrank", "weighted_simrank")
     }
 

@@ -1,14 +1,16 @@
-"""Quickstart: query similarity and rewrites from a hand-built click graph.
+"""Quickstart: the RewriteEngine serving API on a hand-built click graph.
 
-Builds the paper's running example (cameras, PCs, TVs and flowers), runs all
-four similarity methods and prints the top rewrites each one proposes.
+Builds the paper's running example (cameras, PCs, TVs and flowers), fits one
+:class:`~repro.api.engine.RewriteEngine` per similarity method and prints the
+top rewrites each one proposes, plus an explanation trace for one decision.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import ClickGraph, QueryRewriter, SimrankConfig, create_method
+from repro import ClickGraph, EngineConfig, RewriteEngine, SimrankConfig
+from repro.api.registry import PAPER_METHODS
 from repro.eval.reporting import format_table
 
 
@@ -42,19 +44,18 @@ def main() -> None:
     graph = build_click_graph()
     print(f"click graph: {graph}\n")
 
-    config = SimrankConfig(c1=0.8, c2=0.8, iterations=7, zero_evidence_floor=0.1)
+    similarity = SimrankConfig(c1=0.8, c2=0.8, iterations=7, zero_evidence_floor=0.1)
     bid_terms = {str(query) for query in graph.queries()}  # every query has bids in this toy world
 
     rows = []
-    for method_name in ("pearson", "simrank", "evidence_simrank", "weighted_simrank"):
-        method = create_method(method_name, config=config)
-        rewriter = QueryRewriter(method, bid_terms=bid_terms, max_rewrites=3).fit(graph)
-        for query in ("camera", "pc", "flower"):
-            rewrites = rewriter.rewrites_for(query)
+    for method_name in PAPER_METHODS:
+        config = EngineConfig(method=method_name, similarity=similarity, max_rewrites=3)
+        engine = RewriteEngine.from_graph(graph, config, bid_terms=bid_terms).fit()
+        for rewrites in engine.rewrite_batch(["camera", "pc", "flower"]):
             rows.append(
                 {
                     "method": method_name,
-                    "query": query,
+                    "query": rewrites.query,
                     "rewrites": ", ".join(
                         f"{r.rewrite} ({r.score:.3f})" for r in rewrites.rewrites
                     )
@@ -63,12 +64,25 @@ def main() -> None:
             )
     print(format_table(rows, title="Top rewrites per method"))
 
-    # Direct pairwise similarity lookups are available too.
-    weighted = create_method("weighted_simrank", config=config).fit(graph)
+    # One engine end-to-end: similarity lookups, explanations, cache stats.
+    config = EngineConfig(method="weighted_simrank", similarity=similarity)
+    engine = RewriteEngine.from_graph(graph, config, bid_terms=bid_terms).fit()
     print()
     print("weighted SimRank similarities:")
     for pair in [("camera", "digital camera"), ("camera", "pc"), ("camera", "flower")]:
-        print(f"  sim{pair} = {weighted.query_similarity(*pair):.4f}")
+        print(f"  sim{pair} = {engine.method.query_similarity(*pair):.4f}")
+
+    explanation = engine.explain("camera", "digital camera")
+    print()
+    print(
+        f"explain('camera' -> 'digital camera'): {explanation.reason}, "
+        f"rank={explanation.rank}, similarity={explanation.similarity:.4f}"
+    )
+
+    engine.precompute()  # warm every query offline, like the paper's deployment
+    engine.rewrite_batch(["camera", "pc", "flower", "camera", "pc", "flower"])
+    info = engine.cache_info()
+    print(f"serving cache: {info.size} entries, hit rate {info.hit_rate:.0%}")
 
 
 if __name__ == "__main__":

@@ -3,10 +3,11 @@
 Reproduces the data path of the paper's Figure 2:
 
 1. generate a synthetic advertiser/query universe (ground-truth topics),
-2. simulate serving: the back-end picks bid ads, users click position-biased,
+2. simulate bootstrap serving: the back-end picks bid ads, users click
+   position-biased, no rewriting yet,
 3. aggregate the logs into a click graph and persist it in SQLite,
-4. fit weighted SimRank on the click graph and plug the rewriter into the
-   front-end,
+4. fit a weighted-SimRank RewriteEngine on the click graph offline and attach
+   it to the system, switching serving to rewrite-expansion mode,
 5. grade the rewrites with the simulated editorial judge.
 
 Run with::
@@ -17,14 +18,13 @@ Run with::
 import tempfile
 from pathlib import Path
 
-from repro import ClickGraphStore, QueryRewriter, SimrankConfig, create_method
+from repro import ClickGraphStore, EngineConfig, RewriteEngine, SimrankConfig
 from repro.eval.editorial import EditorialJudge
 from repro.eval.reporting import format_table
 from repro.search.ads import AdDatabase
 from repro.search.backend import Backend
 from repro.search.bids import Bid, BidDatabase
 from repro.search.click_model import PositionBiasedClickModel
-from repro.search.frontend import FrontEnd
 from repro.search.system import SponsoredSearchSystem
 from repro.search.user_model import TopicalUserModel
 from repro.synth.yahoo_like import yahoo_like_workload
@@ -61,8 +61,9 @@ def main() -> None:
 
     report = system.serve_traffic(workload.traffic)
     print(
-        f"served {report.queries_served} queries, {report.impressions} impressions, "
-        f"{report.clicks} clicks (CTR {report.click_through_rate:.3f})"
+        f"bootstrap: served {report.queries_served} queries, {report.impressions} impressions, "
+        f"{report.clicks} clicks (CTR {report.click_through_rate:.3f}, "
+        f"{report.expanded_queries} expanded)"
     )
 
     graph = system.build_click_graph()
@@ -77,18 +78,30 @@ def main() -> None:
             bid_terms = store.load_bid_terms("two-week")
         print(f"persisted and reloaded the click graph from {store_path.name}")
 
-    config = SimrankConfig(iterations=7, zero_evidence_floor=0.1)
-    rewriter = QueryRewriter(
-        create_method("weighted_simrank", config=config), bid_terms=bid_terms, max_rewrites=5
-    ).fit(graph)
-    system.frontend = FrontEnd(rewriter, max_rewrites=3)
+    engine_config = EngineConfig(
+        method="weighted_simrank",
+        similarity=SimrankConfig(iterations=7, zero_evidence_floor=0.1),
+        max_rewrites=5,
+    )
+    engine = RewriteEngine.from_graph(graph, engine_config, bid_terms=bid_terms).fit()
+    engine.precompute()  # the paper's offline pass: every query pre-expanded
+    system.attach_engine(engine, max_rewrites=3)
+
+    expanded_report = system.serve_traffic(workload.traffic)
+    print(
+        f"rewrite-expansion mode: served {expanded_report.queries_served} queries, "
+        f"{expanded_report.expanded_queries} expanded "
+        f"({expanded_report.expansion_rate:.0%}), CTR {expanded_report.click_through_rate:.3f}"
+    )
+    info = engine.cache_info()
+    print(f"engine cache: {info.size} entries, hit rate {info.hit_rate:.0%}")
 
     judge = EditorialJudge(workload)
     rows = []
     grade_counts = {1: 0, 2: 0, 3: 0, 4: 0}
     sample_queries = sorted(graph.queries())[:12]
     for query in sample_queries:
-        rewrites = rewriter.rewrites_for(query)
+        rewrites = engine.rewrite(query)
         graded = [(r.rewrite, judge.grade(query, r.rewrite)) for r in rewrites.rewrites]
         for _, grade in graded:
             grade_counts[grade] += 1

@@ -8,18 +8,45 @@ graph partitioning, a sponsored-search serving simulator, a synthetic
 Yahoo!-like workload generator, a simulated editorial judge and the complete
 evaluation harness that regenerates the paper's tables and figures.
 
+The serving front door is :class:`~repro.api.engine.RewriteEngine`: fit a
+similarity method on a click graph once (offline), then serve cached,
+filtered top-k rewrite lists (online).
+
 Quickstart::
 
-    from repro import ClickGraph, SimrankConfig, WeightedSimrank
+    from repro import ClickGraph, EngineConfig, RewriteEngine
 
     graph = ClickGraph()
     graph.add_edge("camera", "hp.com", impressions=500, clicks=40)
     graph.add_edge("digital camera", "hp.com", impressions=400, clicks=35)
 
-    method = WeightedSimrank(SimrankConfig(iterations=7)).fit(graph)
-    print(method.query_similarity("camera", "digital camera"))
+    engine = RewriteEngine.from_graph(
+        graph, EngineConfig(method="weighted_simrank")
+    ).fit()
+    for rewrite in engine.rewrite("camera").rewrites:
+        print(rewrite.rewrite, rewrite.score)
+    print(engine.explain("camera", "digital camera").reason)
+
+Custom similarity methods plug into the registry without touching core::
+
+    from repro import register_method
+
+    @register_method("my_method", backends=("matrix",))
+    def build_my_method(config, backend):
+        return MyMethod(config=config)
+
+    engine = RewriteEngine.from_graph(graph, EngineConfig(method="my_method")).fit()
+
+The pre-registry entry point ``create_method(name, config, backend)`` still
+works as a deprecation shim; see CHANGES.md for the migration note.
 """
 
+from repro.api import (
+    EngineConfig,
+    RewriteEngine,
+    available_methods,
+    register_method,
+)
 from repro.core import (
     BipartiteSimrank,
     EvidenceSimrank,
@@ -29,16 +56,19 @@ from repro.core import (
     SimilarityScores,
     SimrankConfig,
     WeightedSimrank,
-    available_methods,
     create_method,
 )
 from repro.eval import EditorialJudge, ExperimentHarness
 from repro.graph import ClickGraph, ClickGraphStore, EdgeStats, WeightSource
 from repro.synth import generate_workload, yahoo_like_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "EngineConfig",
+    "RewriteEngine",
+    "available_methods",
+    "register_method",
     "BipartiteSimrank",
     "EvidenceSimrank",
     "MatrixSimrank",
@@ -47,7 +77,6 @@ __all__ = [
     "SimilarityScores",
     "SimrankConfig",
     "WeightedSimrank",
-    "available_methods",
     "create_method",
     "EditorialJudge",
     "ExperimentHarness",

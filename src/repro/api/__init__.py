@@ -1,0 +1,51 @@
+"""The public serving API: method registry, engine configuration, rewrite engine.
+
+This package is the single front door to the library for serving workloads:
+
+* :mod:`repro.api.registry` -- a decorator-based registry of query-similarity
+  methods.  Downstream code registers custom methods with
+  :func:`~repro.api.registry.register_method` without editing core modules.
+* :class:`~repro.api.config.EngineConfig` -- one validated, serializable
+  configuration object unifying the SimRank parameters with the rewrite
+  front-end knobs (bid-term filtering, dedup, candidate pool, max rewrites).
+* :class:`~repro.api.engine.RewriteEngine` -- the fit -> serve facade: fit a
+  similarity method on a click graph once (offline), then serve cached top-k
+  rewrite lists with O(1) repeated lookups (online), matching the paper's
+  offline-computation / online-serving deployment story (Section 9.3).
+"""
+
+from repro.api.config import EngineConfig
+from repro.api.engine import CacheInfo, Explanation, RewriteEngine
+from repro.api.registry import (
+    PAPER_METHODS,
+    DuplicateMethodError,
+    MethodSpec,
+    RegistryError,
+    UnknownBackendError,
+    UnknownMethodError,
+    available_backends,
+    available_methods,
+    create,
+    method_spec,
+    register_method,
+    unregister_method,
+)
+
+__all__ = [
+    "EngineConfig",
+    "CacheInfo",
+    "Explanation",
+    "RewriteEngine",
+    "PAPER_METHODS",
+    "DuplicateMethodError",
+    "MethodSpec",
+    "RegistryError",
+    "UnknownBackendError",
+    "UnknownMethodError",
+    "available_backends",
+    "available_methods",
+    "create",
+    "method_spec",
+    "register_method",
+    "unregister_method",
+]

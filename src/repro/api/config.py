@@ -1,0 +1,134 @@
+"""One validated, serializable configuration for the whole serving stack.
+
+:class:`EngineConfig` unifies the two halves that used to be configured
+separately -- the :class:`~repro.core.config.SimrankConfig` of the similarity
+method and the knobs of the rewrite front-end
+(:class:`~repro.core.rewriter.QueryRewriter`) -- so a serving deployment is
+described by a single object that round-trips through ``to_dict`` /
+``from_dict`` (and therefore through JSON config files).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.config import EvidenceKind, SimrankConfig
+from repro.graph.click_graph import WeightSource
+
+__all__ = ["EngineConfig"]
+
+
+#: ``similarity`` sub-dictionary fields and how to decode them from plain values.
+_SIMILARITY_DECODERS = {
+    "c1": float,
+    "c2": float,
+    "iterations": int,
+    "tolerance": float,
+    "weight_source": WeightSource,
+    "evidence": EvidenceKind,
+    "zero_evidence_floor": float,
+}
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Everything a :class:`~repro.api.engine.RewriteEngine` needs to serve.
+
+    Attributes
+    ----------
+    method:
+        Registered similarity method name (see
+        :func:`repro.api.registry.available_methods`).
+    backend:
+        Backend variant of the method; ``None`` selects the method's default.
+    similarity:
+        Parameters of the similarity computation (decay factors, iterations,
+        weight source, evidence kind).
+    max_rewrites:
+        Maximum rewrites kept per query (the paper uses 5).
+    candidate_pool:
+        Raw candidates considered before filtering (the paper records 100).
+    min_score:
+        Candidates scoring at or below this value are never proposed.
+    deduplicate:
+        Apply stemming-based duplicate removal to the rewrite list.
+    bid_filtering:
+        Drop rewrites outside the bid-term set when the engine is given one;
+        disabling serves unfiltered rewrites even when bid terms are known.
+    """
+
+    method: str = "weighted_simrank"
+    backend: Optional[str] = None
+    similarity: SimrankConfig = field(default_factory=SimrankConfig)
+    max_rewrites: int = 5
+    candidate_pool: int = 100
+    min_score: float = 0.0
+    deduplicate: bool = True
+    bid_filtering: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.method or not isinstance(self.method, str):
+            raise ValueError(f"method must be a non-empty string, got {self.method!r}")
+        if self.max_rewrites < 1:
+            raise ValueError(f"max_rewrites must be at least 1, got {self.max_rewrites}")
+        if self.candidate_pool < self.max_rewrites:
+            raise ValueError(
+                f"candidate_pool ({self.candidate_pool}) must be at least "
+                f"max_rewrites ({self.max_rewrites})"
+            )
+        if self.min_score < 0:
+            raise ValueError(f"min_score must be >= 0, got {self.min_score}")
+
+    # ------------------------------------------------------------- derivation
+
+    def replace(self, **changes: Any) -> "EngineConfig":
+        """Copy of the configuration with some fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    # ---------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-value dictionary representation (JSON-serializable)."""
+        return {
+            "method": self.method,
+            "backend": self.backend,
+            "similarity": {
+                "c1": self.similarity.c1,
+                "c2": self.similarity.c2,
+                "iterations": self.similarity.iterations,
+                "tolerance": self.similarity.tolerance,
+                "weight_source": self.similarity.weight_source.value,
+                "evidence": self.similarity.evidence.value,
+                "zero_evidence_floor": self.similarity.zero_evidence_floor,
+            },
+            "max_rewrites": self.max_rewrites,
+            "candidate_pool": self.candidate_pool,
+            "min_score": self.min_score,
+            "deduplicate": self.deduplicate,
+            "bid_filtering": self.bid_filtering,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "EngineConfig":
+        """Rebuild a validated configuration from :meth:`to_dict` output.
+
+        Unknown keys raise :class:`ValueError` so typos in config files fail
+        loudly instead of silently falling back to defaults.
+        """
+        data = dict(payload)
+        similarity_payload = data.pop("similarity", {})
+        unknown = set(data) - {f.name for f in dataclasses.fields(cls)}
+        if unknown:
+            raise ValueError(f"unknown EngineConfig keys: {sorted(unknown)}")
+        unknown_similarity = set(similarity_payload) - set(_SIMILARITY_DECODERS)
+        if unknown_similarity:
+            raise ValueError(
+                f"unknown EngineConfig similarity keys: {sorted(unknown_similarity)}"
+            )
+        similarity_kwargs = {
+            key: _SIMILARITY_DECODERS[key](value)
+            for key, value in similarity_payload.items()
+        }
+        return cls(similarity=SimrankConfig(**similarity_kwargs), **data)

@@ -1,0 +1,274 @@
+"""The fit -> serve facade over the similarity methods and the rewriter.
+
+The paper's deployment story (Section 9.3) computes rewrites offline and
+serves them online; :class:`RewriteEngine` is that split as an API.  ``fit``
+is the expensive analytics step (SimRank fixpoint over the click graph);
+``rewrite`` / ``rewrite_batch`` are the latency-critical serving steps, which
+cache each query's filtered top-k rewrite list so repeated calls are O(1)
+dictionary lookups instead of O(V) similarity scans.
+
+Typical lifecycle::
+
+    engine = RewriteEngine.from_graph(graph, EngineConfig(method="weighted_simrank"),
+                                      bid_terms=bid_terms).fit()
+    engine.rewrite("camera")                  # RewriteList, computed once
+    engine.rewrite_batch(traffic)             # cached after first sight
+    engine.explain("camera", "digital camera")  # why (not) proposed?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.api.config import EngineConfig
+from repro.api.registry import create
+from repro.core.rewriter import CandidateDecision, QueryRewriter, RewriteList
+from repro.core.similarity_base import QuerySimilarityMethod
+from repro.graph.click_graph import ClickGraph
+
+__all__ = ["CacheInfo", "Explanation", "RewriteEngine"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Serving-cache statistics since the last fit (or ``clear_cache``)."""
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """Why a particular rewrite was (or was not) proposed for a query.
+
+    ``reason`` is ``"accepted"``, one of the filter fates recorded by the
+    rewriter (``"not_in_bid_terms"``, ``"duplicate"``,
+    ``"beyond_max_rewrites"``), or -- for rewrites that never reached the
+    filter pipeline -- ``"below_similarity_floor"`` / ``"not_in_candidate_pool"``.
+    ``candidates`` is the full trace of the query's candidate pool.
+    """
+
+    query: Node
+    rewrite: Node
+    similarity: float
+    accepted: bool
+    rank: Optional[int]
+    reason: str
+    candidates: Tuple[CandidateDecision, ...]
+
+
+class RewriteEngine:
+    """Single front door for query rewriting: fit once, serve cached top-k."""
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        bid_terms: Optional[Iterable[str]] = None,
+        graph: Optional[ClickGraph] = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        config:
+            The unified engine configuration; defaults to weighted SimRank
+            with the paper's serving knobs.
+        bid_terms:
+            Queries that received at least one bid; rewrites outside this set
+            are filtered out unless ``config.bid_filtering`` is off.
+        graph:
+            Click graph to fit on; may also be supplied later via
+            :meth:`fit` (or up front via :meth:`from_graph`).
+        """
+        self.config = config or EngineConfig()
+        self._bid_terms = set(bid_terms) if bid_terms is not None else None
+        method = create(
+            self.config.method, config=self.config.similarity, backend=self.config.backend
+        )
+        self._rewriter = QueryRewriter(
+            method,
+            bid_terms=self._bid_terms if self.config.bid_filtering else None,
+            max_rewrites=self.config.max_rewrites,
+            candidate_pool=self.config.candidate_pool,
+            min_score=self.config.min_score,
+            deduplicate=self.config.deduplicate,
+        )
+        self._graph = graph
+        self._cache: Dict[Node, RewriteList] = {}
+        self._hits = 0
+        self._misses = 0
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: ClickGraph,
+        config: Optional[EngineConfig] = None,
+        bid_terms: Optional[Iterable[str]] = None,
+    ) -> "RewriteEngine":
+        """Engine bound to a click graph, ready for a no-argument :meth:`fit`."""
+        return cls(config=config, bid_terms=bid_terms, graph=graph)
+
+    @classmethod
+    def from_dict(
+        cls,
+        payload: Dict[str, object],
+        bid_terms: Optional[Iterable[str]] = None,
+        graph: Optional[ClickGraph] = None,
+    ) -> "RewriteEngine":
+        """Engine built from a serialized :class:`EngineConfig` dictionary."""
+        return cls(config=EngineConfig.from_dict(payload), bid_terms=bid_terms, graph=graph)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The engine's configuration as a plain dictionary."""
+        return self.config.to_dict()
+
+    # --------------------------------------------------------------- fitting
+
+    @property
+    def method(self) -> QuerySimilarityMethod:
+        """The underlying similarity method instance."""
+        return self._rewriter.method
+
+    @property
+    def graph(self) -> Optional[ClickGraph]:
+        return self._graph
+
+    @property
+    def bid_terms(self) -> Optional[frozenset]:
+        return frozenset(self._bid_terms) if self._bid_terms is not None else None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.method.is_fitted
+
+    def fit(self, graph: Optional[ClickGraph] = None) -> "RewriteEngine":
+        """Run the offline analytics step: fit the similarity method.
+
+        Fits on ``graph`` when given, otherwise on the graph bound by
+        :meth:`from_graph`.  Clears the serving cache.
+        """
+        if graph is not None:
+            self._graph = graph
+        if self._graph is None:
+            raise RuntimeError(
+                "no click graph to fit on; pass one to fit() or build the "
+                "engine with RewriteEngine.from_graph(graph, ...)"
+            )
+        self._rewriter.fit(self._graph)
+        self.clear_cache()
+        return self
+
+    # --------------------------------------------------------------- serving
+
+    def rewrite(self, query: Node) -> RewriteList:
+        """The filtered, ranked rewrites of one query (cached).
+
+        The cache is unbounded: one entry per distinct query seen, including
+        queries with no rewrites.  That matches the paper's offline
+        full-precompute deployment; eviction policies for long-tail online
+        traffic are a planned scaling follow-up (see ROADMAP.md).
+        """
+        self._require_fitted()
+        cached = self._cache.get(query)
+        if cached is not None:
+            self._hits += 1
+            return cached
+        self._misses += 1
+        result = self._rewriter.rewrites_for(query)
+        self._cache[query] = result
+        return result
+
+    def rewrite_batch(self, queries: Sequence[Node]) -> List[RewriteList]:
+        """Rewrite lists for a whole traffic batch, aligned with the input."""
+        return [self.rewrite(query) for query in queries]
+
+    def expansions(self, query: Node, max_rewrites: Optional[int] = None) -> List[Node]:
+        """Just the rewrite terms of a query, for serving-path expansion."""
+        limit = max_rewrites if max_rewrites is not None else self.config.max_rewrites
+        return [rewrite.rewrite for rewrite in self.rewrite(query).top(limit)]
+
+    def precompute(self, queries: Optional[Iterable[Node]] = None) -> int:
+        """Warm the serving cache offline; returns the number of new entries.
+
+        With no argument, precomputes every query of the fitted click graph --
+        the paper's full offline pass.
+        """
+        self._require_fitted()
+        if queries is None:
+            queries = self._graph.queries() if self._graph is not None else []
+        warmed = 0
+        for query in queries:
+            if query not in self._cache:
+                self.rewrite(query)
+                warmed += 1
+        return warmed
+
+    # ----------------------------------------------------------- explanation
+
+    def explain(self, query: Node, rewrite: Node) -> Explanation:
+        """Trace the filter pipeline to explain one (query, rewrite) decision."""
+        self._require_fitted()
+        decisions = tuple(self._rewriter.explain_candidates(query))
+        for decision in decisions:
+            if decision.candidate == rewrite:
+                return Explanation(
+                    query=query,
+                    rewrite=rewrite,
+                    similarity=decision.score,
+                    accepted=decision.accepted,
+                    rank=decision.rank,
+                    reason=decision.fate,
+                    candidates=decisions,
+                )
+        similarity = self.method.query_similarity(query, rewrite)
+        reason = (
+            "below_similarity_floor"
+            if similarity <= self.config.min_score
+            else "not_in_candidate_pool"
+        )
+        return Explanation(
+            query=query,
+            rewrite=rewrite,
+            similarity=similarity,
+            accepted=False,
+            rank=None,
+            reason=reason,
+            candidates=decisions,
+        )
+
+    # ------------------------------------------------------------ cache admin
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss counters and current size of the serving cache."""
+        return CacheInfo(hits=self._hits, misses=self._misses, size=len(self._cache))
+
+    def clear_cache(self) -> None:
+        """Drop all cached rewrite lists and reset the hit/miss counters."""
+        self._cache.clear()
+        self._rewriter.clear_cache()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------ misc
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError(
+                "RewriteEngine has not been fitted; call .fit(graph) "
+                "(or .from_graph(graph, ...).fit()) before serving"
+            )
+
+    def __repr__(self) -> str:
+        state = "fitted" if self.is_fitted else "unfitted"
+        return (
+            f"RewriteEngine(method={self.config.method!r}, {state}, "
+            f"cached={len(self._cache)})"
+        )

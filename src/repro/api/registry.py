@@ -1,0 +1,267 @@
+"""Decorator-based registry of query-similarity methods.
+
+The evaluation harness, the CLI and the :class:`~repro.api.engine.RewriteEngine`
+refer to similarity methods by name; this module maps those names to factories.
+Unlike the old ``if``-chain factory (``repro.core.registry.create_method``,
+now a deprecation shim over this module), the registry is open: downstream
+code -- and tests -- can plug in custom methods without editing core::
+
+    @register_method("my_method", backends=("matrix",))
+    def build_my_method(config: SimrankConfig, backend: str) -> QuerySimilarityMethod:
+        return MyMethod(config=config)
+
+A registered factory receives the :class:`~repro.core.config.SimrankConfig`
+and the chosen backend name.  Decorating a
+:class:`~repro.core.similarity_base.QuerySimilarityMethod` subclass directly
+is also supported; the class is instantiated with ``config=`` when its
+constructor accepts it.
+
+Two backends exist for the SimRank family: ``reference`` (node-pair
+implementations faithful to the paper's equations, good for small graphs and
+traces) and ``matrix`` (same fixpoint, dense linear algebra, used for
+experiments).  Methods that do not distinguish backends register the same
+factory under both names so callers never have to special-case them.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.baselines import CommonAdSimilarity, CosineSimilarity, JaccardSimilarity
+from repro.core.config import SimrankConfig
+from repro.core.evidence_simrank import EvidenceSimrank
+from repro.core.pearson import PearsonSimilarity
+from repro.core.simrank import BipartiteSimrank
+from repro.core.simrank_matrix import MatrixSimrank
+from repro.core.similarity_base import QuerySimilarityMethod
+from repro.core.weighted_simrank import WeightedSimrank
+
+__all__ = [
+    "PAPER_METHODS",
+    "RegistryError",
+    "UnknownMethodError",
+    "UnknownBackendError",
+    "DuplicateMethodError",
+    "MethodSpec",
+    "register_method",
+    "unregister_method",
+    "available_methods",
+    "available_backends",
+    "method_spec",
+    "create",
+]
+
+#: A factory builds a configured method instance for one (config, backend) pair.
+MethodFactory = Callable[[SimrankConfig, str], QuerySimilarityMethod]
+
+#: The four methods compared throughout the paper's evaluation, in the order
+#: the figures list them.
+PAPER_METHODS = ["pearson", "simrank", "evidence_simrank", "weighted_simrank"]
+
+
+class RegistryError(ValueError):
+    """Base class of all registry errors (a :class:`ValueError` subclass)."""
+
+
+class UnknownMethodError(RegistryError):
+    """Raised when a method name has not been registered."""
+
+
+class UnknownBackendError(RegistryError):
+    """Raised when a method does not provide the requested backend."""
+
+
+class DuplicateMethodError(RegistryError):
+    """Raised when a name is registered twice without ``replace=True``."""
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """One registered similarity method."""
+
+    name: str
+    factory: MethodFactory
+    backends: Tuple[str, ...]
+    default_backend: str
+    description: str = ""
+
+
+_REGISTRY: Dict[str, MethodSpec] = {}
+
+
+def register_method(
+    name: str,
+    backends: Tuple[str, ...] = ("matrix", "reference"),
+    *,
+    default_backend: Optional[str] = None,
+    description: str = "",
+    replace: bool = False,
+) -> Callable:
+    """Decorator registering a method factory (or method class) under ``name``.
+
+    Parameters
+    ----------
+    name:
+        The name :func:`create` and :class:`~repro.api.engine.RewriteEngine`
+        resolve.
+    backends:
+        Backend names the factory understands; the factory is called with the
+        chosen one as its second argument.
+    default_backend:
+        Backend used when the caller passes none; defaults to the first entry
+        of ``backends``.
+    description:
+        One-line human-readable summary, surfaced by ``--list-methods``.
+    replace:
+        Allow overwriting an existing registration (otherwise
+        :class:`DuplicateMethodError`).
+    """
+    if not name or not isinstance(name, str):
+        raise RegistryError(f"method name must be a non-empty string, got {name!r}")
+    if not backends:
+        raise RegistryError(f"method {name!r} must declare at least one backend")
+    chosen_default = default_backend or backends[0]
+    if chosen_default not in backends:
+        raise UnknownBackendError(
+            f"default backend {chosen_default!r} of method {name!r} is not in {backends}"
+        )
+
+    def decorator(target):
+        spec = MethodSpec(
+            name=name,
+            factory=_coerce_factory(name, target),
+            backends=tuple(backends),
+            default_backend=chosen_default,
+            description=description or (inspect.getdoc(target) or "").split("\n")[0],
+        )
+        if name in _REGISTRY and not replace:
+            raise DuplicateMethodError(
+                f"method {name!r} is already registered; pass replace=True to overwrite"
+            )
+        _REGISTRY[name] = spec
+        return target
+
+    return decorator
+
+
+def _coerce_factory(name: str, target) -> MethodFactory:
+    """Turn the decorated object into a uniform ``(config, backend)`` factory."""
+    if isinstance(target, type) and issubclass(target, QuerySimilarityMethod):
+        parameters = inspect.signature(target).parameters
+        takes_config = "config" in parameters or any(
+            parameter.kind is inspect.Parameter.VAR_KEYWORD
+            for parameter in parameters.values()
+        )
+
+        def class_factory(config: SimrankConfig, backend: str) -> QuerySimilarityMethod:
+            return target(config=config) if takes_config else target()
+
+        return class_factory
+    if callable(target):
+        return target
+    raise RegistryError(
+        f"method {name!r} must be registered with a factory callable or a "
+        f"QuerySimilarityMethod subclass, got {target!r}"
+    )
+
+
+def unregister_method(name: str) -> None:
+    """Remove a registration (primarily for tests and plugin teardown)."""
+    if name not in _REGISTRY:
+        raise UnknownMethodError(f"cannot unregister unknown method {name!r}")
+    del _REGISTRY[name]
+
+
+def available_methods() -> List[str]:
+    """Registered method names, in registration order."""
+    return list(_REGISTRY)
+
+
+def available_backends(name: str) -> Tuple[str, ...]:
+    """Backend names a method accepts."""
+    return method_spec(name).backends
+
+
+def method_spec(name: str) -> MethodSpec:
+    """The full registration record of a method."""
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise UnknownMethodError(
+            f"unknown similarity method {name!r}; choose from {available_methods()}"
+        )
+    return spec
+
+
+def create(
+    name: str,
+    config: Optional[SimrankConfig] = None,
+    backend: Optional[str] = None,
+) -> QuerySimilarityMethod:
+    """Instantiate a registered similarity method by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_methods`.
+    config:
+        SimRank configuration shared by the SimRank variants (decay factors,
+        iterations, weight source, evidence kind); defaults apply when omitted.
+    backend:
+        One of :func:`available_backends` for the method; the method's default
+        backend when omitted.
+    """
+    spec = method_spec(name)
+    chosen = backend or spec.default_backend
+    if chosen not in spec.backends:
+        raise UnknownBackendError(
+            f"method {name!r} has no backend {chosen!r}; choose from {spec.backends}"
+        )
+    return spec.factory(config or SimrankConfig(), chosen)
+
+
+# --------------------------------------------------------------------------
+# Built-in methods, registered in the order the paper's figures list them.
+# --------------------------------------------------------------------------
+
+
+@register_method("pearson", description="Pearson correlation baseline (Section 9.1)")
+def _build_pearson(config: SimrankConfig, backend: str) -> QuerySimilarityMethod:
+    return PearsonSimilarity(source=config.weight_source)
+
+
+@register_method("simrank", description="Plain bipartite SimRank (Section 4)")
+def _build_simrank(config: SimrankConfig, backend: str) -> QuerySimilarityMethod:
+    if backend == "reference":
+        return BipartiteSimrank(config=config)
+    return MatrixSimrank(config=config, mode="simrank")
+
+
+@register_method("evidence_simrank", description="Evidence-based SimRank (Section 7)")
+def _build_evidence_simrank(config: SimrankConfig, backend: str) -> QuerySimilarityMethod:
+    if backend == "reference":
+        return EvidenceSimrank(config=config)
+    return MatrixSimrank(config=config, mode="evidence")
+
+
+@register_method("weighted_simrank", description="Weighted SimRank / Simrank++ (Section 8)")
+def _build_weighted_simrank(config: SimrankConfig, backend: str) -> QuerySimilarityMethod:
+    if backend == "reference":
+        return WeightedSimrank(config=config)
+    return MatrixSimrank(config=config, mode="weighted")
+
+
+@register_method("common_ads", description="Naive common-ad counting (Table 1)")
+def _build_common_ads(config: SimrankConfig, backend: str) -> QuerySimilarityMethod:
+    return CommonAdSimilarity()
+
+
+@register_method("jaccard", description="Jaccard overlap of clicked-ad sets")
+def _build_jaccard(config: SimrankConfig, backend: str) -> QuerySimilarityMethod:
+    return JaccardSimilarity()
+
+
+@register_method("cosine", description="Cosine similarity of weighted ad vectors")
+def _build_cosine(config: SimrankConfig, backend: str) -> QuerySimilarityMethod:
+    return CosineSimilarity(source=config.weight_source)

@@ -35,7 +35,7 @@ from repro.core.evidence_simrank import EvidenceSimrank
 from repro.core.hybrid import HybridSimilarity, TextSimilarity, text_similarity
 from repro.core.pearson import PearsonSimilarity, pearson_similarity
 from repro.core.registry import available_methods, create_method
-from repro.core.rewriter import QueryRewriter, Rewrite, RewriteList
+from repro.core.rewriter import CandidateDecision, QueryRewriter, Rewrite, RewriteList
 from repro.core.scores import SimilarityScores
 from repro.core.simrank import BipartiteSimrank, SimrankResult
 from repro.core.simrank_matrix import MatrixSimrank
@@ -65,6 +65,7 @@ __all__ = [
     "pearson_similarity",
     "available_methods",
     "create_method",
+    "CandidateDecision",
     "QueryRewriter",
     "Rewrite",
     "RewriteList",

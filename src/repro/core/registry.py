@@ -1,36 +1,23 @@
-"""Registry of query-similarity methods.
+"""Deprecated shim over the pluggable method registry.
 
-The evaluation harness and the CLI refer to methods by name; this module maps
-those names to configured instances.  Two backends are available for the
-SimRank family: the ``reference`` node-pair implementations (faithful to the
-paper's equations, good for small graphs and traces) and the ``matrix``
-implementation (same fixpoint, dense linear algebra, used for experiments).
+The string-if-chain factory that used to live here was replaced by the
+decorator-based registry in :mod:`repro.api.registry`; this module keeps the
+old entry points importable.  New code should use
+:func:`repro.api.registry.create` (or, for serving,
+:class:`repro.api.engine.RewriteEngine`) and register custom methods with
+:func:`repro.api.registry.register_method`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+import warnings
+from typing import Optional
 
-from repro.core.baselines import CommonAdSimilarity, CosineSimilarity, JaccardSimilarity
+from repro.api.registry import PAPER_METHODS, available_methods, create
 from repro.core.config import SimrankConfig
-from repro.core.evidence_simrank import EvidenceSimrank
-from repro.core.pearson import PearsonSimilarity
-from repro.core.simrank import BipartiteSimrank
-from repro.core.simrank_matrix import MatrixSimrank
 from repro.core.similarity_base import QuerySimilarityMethod
-from repro.core.weighted_simrank import WeightedSimrank
 
 __all__ = ["available_methods", "create_method", "PAPER_METHODS"]
-
-#: The four methods compared throughout the paper's evaluation, in the order
-#: the figures list them.
-PAPER_METHODS = ["pearson", "simrank", "evidence_simrank", "weighted_simrank"]
-
-
-def available_methods() -> List[str]:
-    """Names accepted by :func:`create_method`."""
-    return ["pearson", "simrank", "evidence_simrank", "weighted_simrank",
-            "common_ads", "jaccard", "cosine"]
 
 
 def create_method(
@@ -40,44 +27,15 @@ def create_method(
 ) -> QuerySimilarityMethod:
     """Instantiate a similarity method by name.
 
-    Parameters
-    ----------
-    name:
-        One of :func:`available_methods`.
-    config:
-        SimRank configuration shared by the SimRank variants (decay factors,
-        iterations, weight source, evidence kind).
-    backend:
-        ``"matrix"`` (default, fast) or ``"reference"`` (node-pair
-        implementation) for the SimRank variants; ignored for the others.
+    .. deprecated::
+        Use :func:`repro.api.registry.create` or a
+        :class:`repro.api.engine.RewriteEngine` instead; this shim forwards to
+        the registry and will be removed in a future release.
     """
-    config = config or SimrankConfig()
-    if backend not in ("matrix", "reference"):
-        raise ValueError(f"backend must be 'matrix' or 'reference', got {backend!r}")
-
-    if name == "pearson":
-        return PearsonSimilarity(source=config.weight_source)
-    if name == "common_ads":
-        return CommonAdSimilarity()
-    if name == "jaccard":
-        return JaccardSimilarity()
-    if name == "cosine":
-        return CosineSimilarity(source=config.weight_source)
-
-    simrank_factories: Dict[str, Dict[str, Callable[[], QuerySimilarityMethod]]] = {
-        "simrank": {
-            "reference": lambda: BipartiteSimrank(config=config),
-            "matrix": lambda: MatrixSimrank(config=config, mode="simrank"),
-        },
-        "evidence_simrank": {
-            "reference": lambda: EvidenceSimrank(config=config),
-            "matrix": lambda: MatrixSimrank(config=config, mode="evidence"),
-        },
-        "weighted_simrank": {
-            "reference": lambda: WeightedSimrank(config=config),
-            "matrix": lambda: MatrixSimrank(config=config, mode="weighted"),
-        },
-    }
-    if name in simrank_factories:
-        return simrank_factories[name][backend]()
-    raise ValueError(f"unknown similarity method {name!r}; choose from {available_methods()}")
+    warnings.warn(
+        "repro.create_method is deprecated; use repro.api.registry.create "
+        "(or RewriteEngine for serving) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return create(name, config=config, backend=backend)

@@ -14,13 +14,13 @@ number of rewrites that survive is the method's *depth* for that query.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.similarity_base import QuerySimilarityMethod
 from repro.graph.click_graph import ClickGraph
 from repro.text.normalize import query_signature
 
-__all__ = ["Rewrite", "RewriteList", "QueryRewriter"]
+__all__ = ["Rewrite", "RewriteList", "CandidateDecision", "QueryRewriter"]
 
 Node = Hashable
 
@@ -62,6 +62,26 @@ class RewriteList:
         return [rewrite.rewrite for rewrite in self.rewrites]
 
 
+@dataclass(frozen=True)
+class CandidateDecision:
+    """What the filter pipeline did with one raw candidate.
+
+    ``fate`` is ``"accepted"`` or the name of the filter that dropped the
+    candidate: ``"not_in_bid_terms"``, ``"duplicate"`` or
+    ``"beyond_max_rewrites"``.  Candidates scoring at or below ``min_score``
+    never reach the pipeline and therefore never appear in a trace.
+    """
+
+    candidate: Node
+    score: float
+    fate: str
+    rank: Optional[int] = None
+
+    @property
+    def accepted(self) -> bool:
+        return self.fate == "accepted"
+
+
 class QueryRewriter:
     """Generate filtered, ranked query rewrites from a similarity method."""
 
@@ -95,6 +115,14 @@ class QueryRewriter:
         deduplicate:
             Apply stemming-based duplicate removal (drop rewrites whose
             stemmed signature equals the query's or an earlier rewrite's).
+
+        Notes
+        -----
+        Rewrite lists are memoized per query, so repeated ``rewrites_for``
+        calls (and the ``coverage`` / ``depth_histogram`` statistics, which
+        share the memo) run the similarity top-k at most once per query.
+        Changing any filtering attribute after serving has started requires a
+        :meth:`clear_cache` call; refitting clears the memo automatically.
         """
         if max_rewrites < 1:
             raise ValueError("max_rewrites must be at least 1")
@@ -106,37 +134,94 @@ class QueryRewriter:
         self.candidate_pool = candidate_pool
         self.min_score = min_score
         self.deduplicate = deduplicate
+        self._cache: Dict[Node, RewriteList] = {}
+        self._bid_signatures: Optional[Set[Tuple[str, ...]]] = None
+        self._bid_signature_source: Optional[Set[str]] = None
 
     # ------------------------------------------------------------------- fit
 
     def fit(self, graph: ClickGraph) -> "QueryRewriter":
         """Fit the underlying similarity method on a click graph."""
         self.method.fit(graph)
+        self.clear_cache()
         return self
+
+    def clear_cache(self) -> None:
+        """Drop memoized rewrite lists (needed after mutating filter knobs)."""
+        self._cache.clear()
+        # Recompute the bid-term signatures too: an identity check alone would
+        # miss in-place mutations of the bid_terms set.
+        self._bid_signatures = None
+        self._bid_signature_source = None
 
     # -------------------------------------------------------------- rewrites
 
     def rewrites_for(self, query: Node) -> RewriteList:
-        """The surviving rewrites of one query, best first."""
+        """The surviving rewrites of one query, best first (memoized)."""
+        cached = self._cache.get(query)
+        if cached is not None:
+            return cached
+        result, _ = self._generate(query, collect_decisions=False)
+        self._cache[query] = result
+        return result
+
+    def explain_candidates(self, query: Node) -> List[CandidateDecision]:
+        """The fate of every raw candidate in the filter pipeline, best first."""
+        _, decisions = self._generate(query, collect_decisions=True)
+        return decisions
+
+    def _bid_term_signatures(self) -> Optional[Set[Tuple[str, ...]]]:
+        """Stemmed signatures of the bid terms, recomputed when the set changes.
+
+        Bid terms and candidates are both normalized with
+        :func:`~repro.text.normalize.query_signature` so casing, word-order
+        and stemming variants of a bid term ("Digital Cameras" vs "digital
+        camera") are not spuriously filtered out.
+        """
+        if self.bid_terms is None:
+            return None
+        if self._bid_signatures is None or self._bid_signature_source is not self.bid_terms:
+            self._bid_signatures = {query_signature(term) for term in self.bid_terms}
+            self._bid_signature_source = self.bid_terms
+        return self._bid_signatures
+
+    def _generate(
+        self, query: Node, collect_decisions: bool
+    ) -> Tuple[RewriteList, List[CandidateDecision]]:
+        """Run the Section 9.3 filter pipeline over the raw candidate pool."""
         candidates = self.method.top_rewrites(
             query, k=self.candidate_pool, minimum=self.min_score
         )
+        bid_signatures = self._bid_term_signatures()
         accepted: List[Rewrite] = []
+        decisions: List[CandidateDecision] = []
         seen_signatures = {query_signature(query)} if self.deduplicate else set()
         for candidate, score in candidates:
+            signature = query_signature(candidate)
             if len(accepted) >= self.max_rewrites:
-                break
-            if self.bid_terms is not None and str(candidate) not in self.bid_terms:
-                continue
-            if self.deduplicate:
-                signature = query_signature(candidate)
-                if signature in seen_signatures:
-                    continue
+                fate = "beyond_max_rewrites"
+            elif bid_signatures is not None and signature not in bid_signatures:
+                fate = "not_in_bid_terms"
+            elif self.deduplicate and signature in seen_signatures:
+                fate = "duplicate"
+            else:
+                fate = "accepted"
                 seen_signatures.add(signature)
-            accepted.append(
-                Rewrite(query=query, rewrite=candidate, score=score, rank=len(accepted) + 1)
-            )
-        return RewriteList(query=query, rewrites=accepted)
+                accepted.append(
+                    Rewrite(query=query, rewrite=candidate, score=score, rank=len(accepted) + 1)
+                )
+            if collect_decisions:
+                decisions.append(
+                    CandidateDecision(
+                        candidate=candidate,
+                        score=score,
+                        fate=fate,
+                        rank=accepted[-1].rank if fate == "accepted" else None,
+                    )
+                )
+            elif fate == "beyond_max_rewrites":
+                break
+        return RewriteList(query=query, rewrites=accepted), decisions
 
     def rewrite_all(self, queries: Iterable[Node]) -> List[RewriteList]:
         """Rewrites for a whole evaluation query sample."""

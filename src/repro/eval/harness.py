@@ -23,9 +23,11 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
+from repro.api.config import EngineConfig
+from repro.api.engine import RewriteEngine
+from repro.api.registry import PAPER_METHODS, create
 from repro.core.config import SimrankConfig
-from repro.core.registry import PAPER_METHODS, create_method
-from repro.core.rewriter import QueryRewriter, RewriteList
+from repro.core.rewriter import RewriteList
 from repro.eval.coverage import coverage_percentage, depth_distribution
 from repro.eval.desirability import DesirabilityResult, run_desirability_experiment
 from repro.eval.editorial import EditorialJudge
@@ -164,10 +166,12 @@ class ExperimentHarness:
 
         rewrites_per_method: Dict[str, Dict[Node, RewriteList]] = {}
         for method_name in self.methods:
-            rewriter = self._build_rewriter(method_name)
-            rewriter.fit(dataset)
+            engine = self._build_engine(method_name).fit(dataset)
             rewrites_per_method[method_name] = {
-                query: rewriter.rewrites_for(query) for query in evaluation_queries
+                query: rewrite_list
+                for query, rewrite_list in zip(
+                    evaluation_queries, engine.rewrite_batch(evaluation_queries)
+                )
             }
 
         relevant_pool = self._pooled_relevant(rewrites_per_method, judge)
@@ -225,7 +229,7 @@ class ExperimentHarness:
         """The Figure 12 experiment for the SimRank variants (Pearson excluded)."""
         simrank_methods = [name for name in self.methods if name != "pearson"]
         factories = {
-            name: (lambda name=name: create_method(name, config=self.config, backend=self.backend))
+            name: (lambda name=name: create(name, config=self.config, backend=self.backend))
             for name in simrank_methods
         }
         return run_desirability_experiment(
@@ -239,15 +243,16 @@ class ExperimentHarness:
 
     # ------------------------------------------------------------ evaluation
 
-    def _build_rewriter(self, method_name: str) -> QueryRewriter:
-        method = create_method(method_name, config=self.config, backend=self.backend)
-        bid_terms = {str(term) for term in self.workload.bid_terms}
-        return QueryRewriter(
-            method,
-            bid_terms=bid_terms,
+    def _build_engine(self, method_name: str) -> RewriteEngine:
+        engine_config = EngineConfig(
+            method=method_name,
+            backend=self.backend,
+            similarity=self.config,
             max_rewrites=self.max_rewrites,
             candidate_pool=self.candidate_pool,
         )
+        bid_terms = {str(term) for term in self.workload.bid_terms}
+        return RewriteEngine(engine_config, bid_terms=bid_terms)
 
     def _pooled_relevant(
         self,

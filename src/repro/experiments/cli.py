@@ -5,6 +5,8 @@ Examples::
     simrankpp-experiments --experiment table3
     simrankpp-experiments --experiment figure8 --size tiny
     simrankpp-experiments --experiment all --size small --seed 42
+    simrankpp-experiments --experiment figure8 --backend reference
+    simrankpp-experiments --list-methods
 """
 
 from __future__ import annotations
@@ -13,6 +15,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.api.registry import available_backends, available_methods, method_spec
 from repro.core.config import SimrankConfig
 from repro.experiments.paper import PaperExperiments
 
@@ -35,6 +38,17 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["tiny", "small", "medium"],
         help="synthetic workload size used for Table 5 and Figures 8-12",
     )
+    parser.add_argument(
+        "--backend",
+        default="matrix",
+        choices=["matrix", "reference"],
+        help="similarity-method backend used by the harness experiments",
+    )
+    parser.add_argument(
+        "--list-methods",
+        action="store_true",
+        help="list the registered similarity methods and exit",
+    )
     parser.add_argument("--iterations", type=int, default=7, help="SimRank iterations")
     parser.add_argument("--decay", type=float, default=0.8, help="SimRank decay factors C1 = C2")
     parser.add_argument(
@@ -47,12 +61,19 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.list_methods:
+        for name in available_methods():
+            spec = method_spec(name)
+            backends = "/".join(available_backends(name))
+            print(f"{name:20s} [{backends}]  {spec.description}")
+        return 0
     config = SimrankConfig(c1=args.decay, c2=args.decay, iterations=args.iterations)
     experiments = PaperExperiments(
         workload_size=args.size,
         config=config,
         desirability_cases=args.desirability_cases,
         seed=args.seed,
+        backend=args.backend,
     )
     if args.experiment == "all":
         output = experiments.render_all()

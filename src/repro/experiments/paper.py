@@ -221,6 +221,7 @@ class PaperExperiments:
     config: Optional[SimrankConfig] = None
     desirability_cases: int = 50
     seed: int = 29
+    backend: str = "matrix"
     _result: Optional[EvaluationResult] = None
 
     def harness_result(self) -> EvaluationResult:
@@ -231,6 +232,7 @@ class PaperExperiments:
                 config=self.config,
                 desirability_cases=self.desirability_cases,
                 seed=self.seed,
+                backend=self.backend,
             )
             self._result = harness.run()
         return self._result

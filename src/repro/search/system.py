@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
+from repro.api.engine import RewriteEngine
 from repro.graph.builders import build_click_graph_from_log
 from repro.graph.click_graph import ClickGraph
 from repro.search.backend import Backend
@@ -31,12 +32,21 @@ class ServingReport:
     queries_served: int
     impressions: int
     clicks: int
+    #: Queries served with at least one rewrite expansion (0 when the system
+    #: runs without a rewriter/engine, i.e. in bootstrap mode).
+    expanded_queries: int = 0
 
     @property
     def click_through_rate(self) -> float:
         if self.impressions == 0:
             return 0.0
         return self.clicks / self.impressions
+
+    @property
+    def expansion_rate(self) -> float:
+        if self.queries_served == 0:
+            return 0.0
+        return self.expanded_queries / self.queries_served
 
 
 class SponsoredSearchSystem:
@@ -49,19 +59,41 @@ class SponsoredSearchSystem:
         frontend: Optional[FrontEnd] = None,
         click_model: Optional[PositionBiasedClickModel] = None,
         seed: int = 23,
+        engine: Optional[RewriteEngine] = None,
     ) -> None:
+        if frontend is not None and engine is not None:
+            raise ValueError("configure either a frontend or an engine, not both")
         self.backend = backend
         self.frontend = frontend or FrontEnd()
         self.user_model = user_model
         self.click_model = click_model or backend.click_model
         self.log = QueryLog()
         self._rng = random.Random(seed)
+        self._expanded_queries = 0
+        if engine is not None:
+            self.attach_engine(engine)
+
+    def attach_engine(
+        self, engine: RewriteEngine, max_rewrites: Optional[int] = None
+    ) -> "SponsoredSearchSystem":
+        """Switch serving to rewrite-expansion mode backed by a fitted engine.
+
+        This is the online half of the paper's deployment story: bootstrap
+        traffic without rewriting, aggregate the log into a click graph, fit
+        an engine offline, then attach it so the back-end serves ads for each
+        query *and* its cached rewrites.
+        """
+        limit = max_rewrites if max_rewrites is not None else engine.config.max_rewrites
+        self.frontend = FrontEnd(engine=engine, max_rewrites=limit)
+        return self
 
     # ----------------------------------------------------------------- serve
 
     def serve_query(self, query: str) -> int:
         """Serve one query, simulate clicks, log everything; returns clicks."""
         rewrites = self.frontend.rewrites(query)
+        if rewrites:
+            self._expanded_queries += 1
         page = self.backend.serve(query, rewrites)
         clicks = 0
         for placement in page.placements:
@@ -85,6 +117,7 @@ class SponsoredSearchSystem:
         queries_served = 0
         clicks = 0
         impressions_before = len(self.log)
+        expanded_before = self._expanded_queries
         for query in traffic:
             queries_served += 1
             clicks += self.serve_query(query)
@@ -92,6 +125,7 @@ class SponsoredSearchSystem:
             queries_served=queries_served,
             impressions=len(self.log) - impressions_before,
             clicks=clicks,
+            expanded_queries=self._expanded_queries - expanded_before,
         )
 
     # ------------------------------------------------------------ aggregation

@@ -1,0 +1,213 @@
+"""RewriteEngine lifecycle, serving cache, explanations and EngineConfig."""
+
+import pytest
+
+from repro.api.config import EngineConfig
+from repro.api.engine import RewriteEngine
+from repro.core.config import EvidenceKind, SimrankConfig
+from repro.graph.click_graph import WeightSource
+
+
+def counting_top_rewrites(engine):
+    """Wrap the engine's similarity top-k so tests can count invocations."""
+    calls = {"count": 0}
+    original = engine.method.top_rewrites
+
+    def wrapper(*args, **kwargs):
+        calls["count"] += 1
+        return original(*args, **kwargs)
+
+    engine.method.top_rewrites = wrapper
+    return calls
+
+
+class TestLifecycle:
+    def test_serving_before_fit_raises(self):
+        engine = RewriteEngine(EngineConfig(method="simrank"))
+        with pytest.raises(RuntimeError):
+            engine.rewrite("camera")
+        with pytest.raises(RuntimeError):
+            engine.explain("camera", "digital camera")
+        with pytest.raises(RuntimeError):
+            engine.precompute()
+
+    def test_fit_without_a_graph_raises(self):
+        with pytest.raises(RuntimeError):
+            RewriteEngine(EngineConfig(method="simrank")).fit()
+
+    def test_from_graph_then_fit(self, small_weighted_graph):
+        engine = RewriteEngine.from_graph(small_weighted_graph, EngineConfig(method="simrank"))
+        assert not engine.is_fitted
+        assert engine.fit() is engine
+        assert engine.is_fitted
+        assert engine.graph is small_weighted_graph
+        assert engine.rewrite("camera").covered
+
+    def test_fit_accepts_a_graph_directly(self, small_weighted_graph):
+        engine = RewriteEngine(EngineConfig(method="simrank")).fit(small_weighted_graph)
+        assert engine.rewrite("camera").covered
+
+    def test_refit_clears_the_cache(self, small_weighted_graph):
+        engine = RewriteEngine.from_graph(small_weighted_graph, EngineConfig(method="simrank")).fit()
+        engine.rewrite("camera")
+        assert engine.cache_info().size == 1
+        engine.fit(small_weighted_graph)
+        assert engine.cache_info() == type(engine.cache_info())(hits=0, misses=0, size=0)
+
+    def test_unknown_method_fails_at_construction(self):
+        with pytest.raises(ValueError):
+            RewriteEngine(EngineConfig(method="not-a-method"))
+
+
+class TestServingCache:
+    @pytest.fixture
+    def engine(self, small_weighted_graph):
+        return RewriteEngine.from_graph(
+            small_weighted_graph, EngineConfig(method="weighted_simrank")
+        ).fit()
+
+    def test_repeated_rewrites_run_topk_once(self, engine):
+        calls = counting_top_rewrites(engine)
+        first = engine.rewrite("camera")
+        second = engine.rewrite("camera")
+        assert calls["count"] == 1
+        assert second is first
+
+    def test_rewrite_batch_is_aligned_and_deduplicated(self, engine):
+        calls = counting_top_rewrites(engine)
+        queries = ["camera", "pc", "camera", "flower", "pc", "camera"]
+        results = engine.rewrite_batch(queries)
+        assert [result.query for result in results] == queries
+        assert calls["count"] == 3  # one similarity scan per unique query
+        info = engine.cache_info()
+        assert info.misses == 3
+        assert info.hits == 3
+        assert info.size == 3
+        assert info.hit_rate == pytest.approx(0.5)
+
+    def test_precompute_warms_every_graph_query(self, engine, small_weighted_graph):
+        warmed = engine.precompute()
+        assert warmed == len(list(small_weighted_graph.queries()))
+        calls = counting_top_rewrites(engine)
+        engine.rewrite_batch(sorted(str(q) for q in small_weighted_graph.queries()))
+        assert calls["count"] == 0  # everything served from the cache
+
+    def test_clear_cache_resets_counters(self, engine):
+        engine.rewrite("camera")
+        engine.rewrite("camera")
+        engine.clear_cache()
+        info = engine.cache_info()
+        assert (info.hits, info.misses, info.size) == (0, 0, 0)
+
+    def test_expansions_returns_plain_terms(self, engine):
+        expansions = engine.expansions("camera", max_rewrites=2)
+        assert len(expansions) <= 2
+        assert all(term != "camera" for term in expansions)
+
+
+class TestExplain:
+    @pytest.fixture
+    def engine(self, small_weighted_graph):
+        return RewriteEngine.from_graph(
+            small_weighted_graph,
+            EngineConfig(method="weighted_simrank", max_rewrites=3),
+            bid_terms={"digital camera", "pc"},
+        ).fit()
+
+    def test_accepted_rewrite(self, engine):
+        explanation = engine.explain("camera", "digital camera")
+        assert explanation.accepted
+        assert explanation.reason == "accepted"
+        assert explanation.rank == 1
+        assert explanation.similarity > 0
+
+    def test_bid_term_filtered_rewrite(self, engine):
+        explanation = engine.explain("camera", "laptop")
+        assert not explanation.accepted
+        assert explanation.reason == "not_in_bid_terms"
+        assert explanation.rank is None
+
+    def test_unrelated_rewrite(self, engine):
+        explanation = engine.explain("camera", "no-such-query")
+        assert not explanation.accepted
+        assert explanation.reason == "below_similarity_floor"
+        assert explanation.similarity == 0.0
+
+    def test_trace_covers_the_candidate_pool(self, engine):
+        explanation = engine.explain("camera", "digital camera")
+        fates = {decision.fate for decision in explanation.candidates}
+        assert "accepted" in fates
+        assert "not_in_bid_terms" in fates
+        accepted = [decision for decision in explanation.candidates if decision.accepted]
+        assert [decision.rank for decision in accepted] == list(range(1, len(accepted) + 1))
+
+    def test_bid_filtering_can_be_disabled(self, small_weighted_graph):
+        engine = RewriteEngine.from_graph(
+            small_weighted_graph,
+            EngineConfig(method="weighted_simrank", bid_filtering=False),
+            bid_terms={"digital camera"},
+        ).fit()
+        candidates = engine.rewrite("camera").candidates()
+        assert "laptop" in candidates or len(candidates) > 1
+
+
+class TestEngineConfig:
+    def test_defaults_follow_the_paper(self):
+        config = EngineConfig()
+        assert config.method == "weighted_simrank"
+        assert config.max_rewrites == 5
+        assert config.candidate_pool == 100
+        assert config.deduplicate and config.bid_filtering
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"method": ""},
+            {"max_rewrites": 0},
+            {"max_rewrites": 10, "candidate_pool": 5},
+            {"min_score": -0.1},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            EngineConfig(**kwargs)
+
+    def test_dict_round_trip(self):
+        config = EngineConfig(
+            method="evidence_simrank",
+            backend="reference",
+            similarity=SimrankConfig(
+                c1=0.6,
+                iterations=3,
+                weight_source=WeightSource.CLICKS,
+                evidence=EvidenceKind.EXPONENTIAL,
+                zero_evidence_floor=0.1,
+            ),
+            max_rewrites=4,
+            candidate_pool=50,
+            min_score=0.05,
+            deduplicate=False,
+            bid_filtering=False,
+        )
+        payload = config.to_dict()
+        assert payload["similarity"]["weight_source"] == "clicks"
+        assert payload["similarity"]["evidence"] == "exponential"
+        assert EngineConfig.from_dict(payload) == config
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError):
+            EngineConfig.from_dict({"method": "simrank", "turbo": True})
+        with pytest.raises(ValueError):
+            EngineConfig.from_dict({"similarity": {"decay": 0.8}})
+
+    def test_replace(self):
+        config = EngineConfig().replace(method="simrank", max_rewrites=2)
+        assert config.method == "simrank"
+        assert config.max_rewrites == 2
+
+    def test_engine_round_trips_through_to_dict(self, small_weighted_graph):
+        config = EngineConfig(method="simrank", max_rewrites=2)
+        engine = RewriteEngine.from_graph(small_weighted_graph, config).fit()
+        clone = RewriteEngine.from_dict(engine.to_dict(), graph=small_weighted_graph).fit()
+        assert clone.config == config
+        assert clone.rewrite("camera").candidates() == engine.rewrite("camera").candidates()

@@ -147,3 +147,73 @@ class TestQueryRewriter:
         rewrites = rewriter.rewrites_for("camera")
         assert rewrites.depth >= 2
         assert set(rewrites.candidates()) <= {"digital camera", "tv", "pc"}
+
+    def _count_top_rewrites(self, rewriter):
+        calls = {"count": 0}
+        original = rewriter.method.top_rewrites
+
+        def wrapper(*args, **kwargs):
+            calls["count"] += 1
+            return original(*args, **kwargs)
+
+        rewriter.method.top_rewrites = wrapper
+        return calls
+
+    def test_stats_share_one_topk_pass_per_query(self, fig3_graph):
+        """Regression: coverage + depth_histogram used to rerun the top-k scan."""
+        rewriter = QueryRewriter(self._method(), max_rewrites=5).fit(fig3_graph)
+        calls = self._count_top_rewrites(rewriter)
+        queries = ["camera", "query with no rewrites", "camera"]
+        rewriter.coverage(queries)
+        rewriter.depth_histogram(queries)
+        rewriter.rewrites_for("camera")
+        assert calls["count"] == 2  # one scan per *unique* query, ever
+
+    def test_clear_cache_and_refit_invalidate_the_memo(self, fig3_graph):
+        rewriter = QueryRewriter(self._method(), max_rewrites=5).fit(fig3_graph)
+        calls = self._count_top_rewrites(rewriter)
+        rewriter.rewrites_for("camera")
+        rewriter.clear_cache()
+        rewriter.rewrites_for("camera")
+        assert calls["count"] == 2
+
+    def test_bid_terms_match_stemming_and_casing_variants(self, fig3_graph):
+        """Regression: the filter compared raw strings, dropping bid-term variants."""
+        rewriter = QueryRewriter(
+            self._method(),
+            bid_terms={"Digital Cameras", "PRINTER PHOTO", "tripods"},
+            max_rewrites=5,
+        ).fit(fig3_graph)
+        candidates = rewriter.rewrites_for("camera").candidates()
+        # "digital camera" / "photo printer" / "tripod" stem to the same
+        # signatures as the bid terms above and must survive the filter.
+        assert candidates == ["digital camera", "photo printer", "tripod"]
+
+    def test_bid_term_reassignment_refreshes_the_filter(self, fig3_graph):
+        rewriter = QueryRewriter(self._method(), bid_terms={"digital camera"}).fit(fig3_graph)
+        assert rewriter.rewrites_for("camera").candidates() == ["digital camera"]
+        rewriter.bid_terms = {"tripod"}
+        rewriter.clear_cache()
+        assert rewriter.rewrites_for("camera").candidates() == ["tripod"]
+
+    def test_in_place_bid_term_mutation_refreshes_after_clear_cache(self, fig3_graph):
+        """Regression: identity-based staleness missed in-place set mutations."""
+        bid_terms = {"digital camera"}
+        rewriter = QueryRewriter(self._method(), bid_terms=bid_terms).fit(fig3_graph)
+        assert rewriter.rewrites_for("camera").candidates() == ["digital camera"]
+        bid_terms.add("tripod")
+        rewriter.clear_cache()
+        assert rewriter.rewrites_for("camera").candidates() == ["digital camera", "tripod"]
+
+    def test_explain_candidates_traces_every_fate(self, fig3_graph):
+        rewriter = QueryRewriter(
+            self._method(),
+            bid_terms={"digital camera", "cameras", "photo printer", "tripod", "pc"},
+            max_rewrites=3,
+        ).fit(fig3_graph)
+        decisions = {d.candidate: d for d in rewriter.explain_candidates("camera")}
+        assert decisions["digital camera"].fate == "accepted"
+        assert decisions["digital camera"].rank == 1
+        assert decisions["cameras"].fate == "duplicate"  # stem-dup of the query
+        assert decisions["unbid query"].fate == "not_in_bid_terms"
+        assert decisions["pc"].fate == "beyond_max_rewrites"

@@ -111,3 +111,32 @@ def test_rewriting_frontend_feeds_back_into_serving(serving_setup):
     before = len(system.log)
     report = system.serve_query(next(iter(graph.queries())))
     assert len(system.log) > before or report == 0
+
+
+def test_engine_backed_rewrite_expansion_mode(serving_setup):
+    """The fit -> serve path: bootstrap traffic, fit an engine offline, attach it."""
+    from repro.api.config import EngineConfig
+    from repro.api.engine import RewriteEngine
+
+    workload, system, bids = serving_setup
+    if len(system.log) == 0:
+        system.serve_traffic(workload.traffic[:3000])
+    graph = system.build_click_graph()
+
+    engine_config = EngineConfig(
+        method="weighted_simrank",
+        similarity=SimrankConfig(iterations=4, zero_evidence_floor=0.1),
+        max_rewrites=3,
+    )
+    engine = RewriteEngine.from_graph(graph, engine_config, bid_terms=bids.bid_terms()).fit()
+    engine.precompute()
+    system.attach_engine(engine)
+
+    report = system.serve_traffic(workload.traffic[:500])
+    assert report.queries_served == 500
+    assert report.expanded_queries > 0
+    assert 0.0 < report.expansion_rate <= 1.0
+    # Precomputation means serving never recomputes a known query's rewrites.
+    info = engine.cache_info()
+    assert info.hits > 0
+    assert info.size >= graph.num_queries

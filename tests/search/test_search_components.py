@@ -161,6 +161,30 @@ class TestFrontEndAndLog:
     def test_frontend_without_rewriter_passes_through(self):
         assert FrontEnd().rewrites("camera") == []
 
+    def test_frontend_serves_from_an_engine(self, small_weighted_graph):
+        from repro.api.config import EngineConfig
+        from repro.api.engine import RewriteEngine
+
+        engine = RewriteEngine.from_graph(
+            small_weighted_graph, EngineConfig(method="weighted_simrank")
+        ).fit()
+        frontend = FrontEnd(engine=engine, max_rewrites=2)
+        rewrites = frontend.rewrites("camera")
+        assert 0 < len(rewrites) <= 2
+        assert all(isinstance(rewrite, str) for rewrite in rewrites)
+        assert engine.cache_info().size == 1
+
+    def test_frontend_rejects_rewriter_and_engine_together(self, small_weighted_graph):
+        from repro.api.config import EngineConfig
+        from repro.api.engine import RewriteEngine
+        from repro.api.registry import create
+        from repro.core.rewriter import QueryRewriter
+
+        engine = RewriteEngine.from_graph(small_weighted_graph, EngineConfig()).fit()
+        rewriter = QueryRewriter(create("simrank")).fit(small_weighted_graph)
+        with pytest.raises(ValueError):
+            FrontEnd(rewriter=rewriter, engine=engine)
+
     def test_query_log_round_trip(self, tmp_path):
         log = QueryLog()
         log.extend(
