@@ -53,6 +53,7 @@ from repro.core import (
     MatrixSimrank,
     PearsonSimilarity,
     QueryRewriter,
+    ShardedSimrank,
     SimilarityScores,
     SimrankConfig,
     WeightedSimrank,
@@ -74,6 +75,7 @@ __all__ = [
     "MatrixSimrank",
     "PearsonSimilarity",
     "QueryRewriter",
+    "ShardedSimrank",
     "SimilarityScores",
     "SimrankConfig",
     "WeightedSimrank",

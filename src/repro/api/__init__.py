@@ -12,12 +12,41 @@ This package is the single front door to the library for serving workloads:
   similarity method on a click graph once (offline), then serve cached top-k
   rewrite lists with O(1) repeated lookups (online), matching the paper's
   offline-computation / online-serving deployment story (Section 9.3).
+
+Choosing a backend
+------------------
+
+The SimRank family ships three interchangeable backends, selected with
+``EngineConfig(backend=...)`` (or ``--backend`` on the experiments CLI); all
+three compute the same fixpoint and agree within 1e-6 -- the standing
+``tests/equivalence/`` harness asserts exactly that for every mode.
+
+``reference``
+    The node-pair implementations that follow the paper's equations
+    literally.  Slowest (Python double loops), but they expose per-iteration
+    traces; use them for tiny graphs, debugging and paper-table
+    reproduction.
+``matrix``
+    One dense numpy fixpoint over the whole node set.  The right choice for
+    a single well-connected component of up to a few thousand nodes -- the
+    dense products are BLAS-fast but cost O(n^2) memory regardless of
+    structure.
+``sharded``
+    Decomposes the click graph into connected components and runs the dense
+    engine per component, stitching the per-component scores (cross-component
+    pairs provably score zero).  The default choice for realistic click
+    graphs, which are highly disconnected: memory and time scale with the
+    largest component, not the whole graph, and independent components can be
+    fitted on a thread pool (``ShardedSimrank(n_jobs=...)``).
+    ``benchmarks/bench_sharded_backend.py`` gates the speedup (>= 2x over
+    ``matrix`` on a 10-component graph).
 """
 
 from repro.api.config import EngineConfig
 from repro.api.engine import CacheInfo, Explanation, RewriteEngine
 from repro.api.registry import (
     PAPER_METHODS,
+    SIMRANK_BACKENDS,
     DuplicateMethodError,
     MethodSpec,
     RegistryError,
@@ -37,6 +66,7 @@ __all__ = [
     "Explanation",
     "RewriteEngine",
     "PAPER_METHODS",
+    "SIMRANK_BACKENDS",
     "DuplicateMethodError",
     "MethodSpec",
     "RegistryError",

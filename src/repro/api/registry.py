@@ -16,11 +16,14 @@ and the chosen backend name.  Decorating a
 is also supported; the class is instantiated with ``config=`` when its
 constructor accepts it.
 
-Two backends exist for the SimRank family: ``reference`` (node-pair
+Three backends exist for the SimRank family: ``reference`` (node-pair
 implementations faithful to the paper's equations, good for small graphs and
-traces) and ``matrix`` (same fixpoint, dense linear algebra, used for
-experiments).  Methods that do not distinguish backends register the same
-factory under both names so callers never have to special-case them.
+traces), ``matrix`` (same fixpoint, dense linear algebra, used for
+experiments) and ``sharded`` (same fixpoint computed per connected component
+on block-diagonal numpy structures -- the fast choice for the disconnected
+click graphs of practice; see :mod:`repro.core.simrank_sharded`).  Methods
+that do not distinguish backends register the same factory under every name
+so callers never have to special-case them.
 """
 
 from __future__ import annotations
@@ -35,11 +38,13 @@ from repro.core.evidence_simrank import EvidenceSimrank
 from repro.core.pearson import PearsonSimilarity
 from repro.core.simrank import BipartiteSimrank
 from repro.core.simrank_matrix import MatrixSimrank
+from repro.core.simrank_sharded import ShardedSimrank
 from repro.core.similarity_base import QuerySimilarityMethod
 from repro.core.weighted_simrank import WeightedSimrank
 
 __all__ = [
     "PAPER_METHODS",
+    "SIMRANK_BACKENDS",
     "RegistryError",
     "UnknownMethodError",
     "UnknownBackendError",
@@ -91,9 +96,15 @@ class MethodSpec:
 _REGISTRY: Dict[str, MethodSpec] = {}
 
 
+#: Backends of the SimRank family (and, for uniformity, the default set every
+#: backend-agnostic method registers under, so one ``--backend`` flag can be
+#: applied to a whole method lineup without special cases).
+SIMRANK_BACKENDS: Tuple[str, ...] = ("matrix", "reference", "sharded")
+
+
 def register_method(
     name: str,
-    backends: Tuple[str, ...] = ("matrix", "reference"),
+    backends: Tuple[str, ...] = SIMRANK_BACKENDS,
     *,
     default_backend: Optional[str] = None,
     description: str = "",
@@ -235,6 +246,8 @@ def _build_pearson(config: SimrankConfig, backend: str) -> QuerySimilarityMethod
 def _build_simrank(config: SimrankConfig, backend: str) -> QuerySimilarityMethod:
     if backend == "reference":
         return BipartiteSimrank(config=config)
+    if backend == "sharded":
+        return ShardedSimrank(config=config, mode="simrank")
     return MatrixSimrank(config=config, mode="simrank")
 
 
@@ -242,6 +255,8 @@ def _build_simrank(config: SimrankConfig, backend: str) -> QuerySimilarityMethod
 def _build_evidence_simrank(config: SimrankConfig, backend: str) -> QuerySimilarityMethod:
     if backend == "reference":
         return EvidenceSimrank(config=config)
+    if backend == "sharded":
+        return ShardedSimrank(config=config, mode="evidence")
     return MatrixSimrank(config=config, mode="evidence")
 
 
@@ -249,6 +264,8 @@ def _build_evidence_simrank(config: SimrankConfig, backend: str) -> QuerySimilar
 def _build_weighted_simrank(config: SimrankConfig, backend: str) -> QuerySimilarityMethod:
     if backend == "reference":
         return WeightedSimrank(config=config)
+    if backend == "sharded":
+        return ShardedSimrank(config=config, mode="weighted")
     return MatrixSimrank(config=config, mode="weighted")
 
 

@@ -8,6 +8,10 @@
   comparators (Jaccard, cosine).
 * :mod:`repro.core.complete_bipartite` -- closed-form scores on complete
   bipartite graphs (Theorems A.1-B.3), used as test oracles.
+* :class:`MatrixSimrank` / :class:`ShardedSimrank` -- the same SimRank
+  fixpoints computed with dense linear algebra over the whole graph, or per
+  connected component on block-diagonal numpy structures (the fast backend
+  for the disconnected click graphs of practice).
 * :class:`QueryRewriter` -- the sponsored-search front-end that turns
   similarity scores into filtered, ranked query rewrites (Section 9.3).
 """
@@ -39,6 +43,7 @@ from repro.core.rewriter import CandidateDecision, QueryRewriter, Rewrite, Rewri
 from repro.core.scores import SimilarityScores
 from repro.core.simrank import BipartiteSimrank, SimrankResult
 from repro.core.simrank_matrix import MatrixSimrank
+from repro.core.simrank_sharded import ShardedSimrank
 from repro.core.similarity_base import QuerySimilarityMethod
 from repro.core.weighted_simrank import WeightedSimrank, spread, transition_factors
 
@@ -73,6 +78,7 @@ __all__ = [
     "BipartiteSimrank",
     "SimrankResult",
     "MatrixSimrank",
+    "ShardedSimrank",
     "QuerySimilarityMethod",
     "WeightedSimrank",
     "spread",

@@ -62,8 +62,14 @@ class MatrixSimrank(QuerySimilarityMethod):
     # -------------------------------------------------------------- fit path
 
     def _compute_query_scores(self, graph: ClickGraph) -> SimilarityScores:
-        self._query_index = sorted(graph.queries(), key=repr)
-        self._ad_index = sorted(graph.ads(), key=repr)
+        # Zero-degree nodes can only self-score (implicitly 1), so carrying
+        # them through the dense iteration would only inflate the matrices.
+        self._query_index = sorted(
+            (query for query in graph.queries() if graph.query_degree(query) > 0), key=repr
+        )
+        self._ad_index = sorted(
+            (ad for ad in graph.ads() if graph.ad_degree(ad) > 0), key=repr
+        )
         query_pos = {query: i for i, query in enumerate(self._query_index)}
         ad_pos = {ad: j for j, ad in enumerate(self._ad_index)}
         n_q, n_a = len(self._query_index), len(self._ad_index)
@@ -135,7 +141,11 @@ class MatrixSimrank(QuerySimilarityMethod):
         return float(self._ad_matrix[i, j])
 
     def query_matrix(self) -> Tuple[np.ndarray, List[Node]]:
-        """The raw dense query-query similarity matrix and its index."""
+        """The raw dense query-query similarity matrix and its index.
+
+        The index only covers queries with at least one click edge; isolated
+        queries never enter the iteration (they can only self-score).
+        """
         self._require_fitted()
         return self._query_matrix, list(self._query_index)
 

@@ -6,6 +6,7 @@ Examples::
     simrankpp-experiments --experiment figure8 --size tiny
     simrankpp-experiments --experiment all --size small --seed 42
     simrankpp-experiments --experiment figure8 --backend reference
+    simrankpp-experiments --experiment figure8 --backend sharded
     simrankpp-experiments --list-methods
 """
 
@@ -15,7 +16,12 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.api.registry import available_backends, available_methods, method_spec
+from repro.api.registry import (
+    SIMRANK_BACKENDS,
+    available_backends,
+    available_methods,
+    method_spec,
+)
 from repro.core.config import SimrankConfig
 from repro.experiments.paper import PaperExperiments
 
@@ -41,8 +47,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--backend",
         default="matrix",
-        choices=["matrix", "reference"],
-        help="similarity-method backend used by the harness experiments",
+        choices=sorted(SIMRANK_BACKENDS),
+        help=(
+            "similarity-method backend used by the harness experiments "
+            "(sharded = per-connected-component dense blocks, fastest on "
+            "disconnected click graphs)"
+        ),
     )
     parser.add_argument(
         "--list-methods",

@@ -10,11 +10,18 @@
   motivating the consistency rules of Section 8.
 * :func:`complete_bipartite_graph` -- an arbitrary ``K_{m,n}`` click graph
   for the theorem-checking property tests.
+* :func:`multi_component_graph` -- a deterministic weighted click graph with
+  a chosen number of connected components, mirroring the disconnected shape
+  of real click graphs (Section 9.2); the workhorse of the cross-backend
+  equivalence harness and the sharded-backend benchmark.
+* :func:`equivalence_scenarios` -- the named scenario graphs every similarity
+  backend must agree on (``tests/equivalence/``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+import random
+from typing import Callable, Dict, Tuple
 
 from repro.graph.click_graph import ClickGraph
 
@@ -24,6 +31,8 @@ __all__ = [
     "figure5_graphs",
     "figure6_graphs",
     "complete_bipartite_graph",
+    "multi_component_graph",
+    "equivalence_scenarios",
 ]
 
 #: Node names used by the Figure 3 sample graph.
@@ -110,6 +119,87 @@ def figure6_graphs() -> Tuple[ClickGraph, ClickGraph]:
     light.add_edge("flower", "flowers-ad", impressions=1000, clicks=1)
     light.add_edge("teleflora", "flowers-ad", impressions=1000, clicks=1)
     return heavy, light
+
+
+def multi_component_graph(
+    num_components: int = 4,
+    queries_per_component: int = 4,
+    ads_per_component: int = 3,
+    extra_edges: int = 3,
+    seed: int = 13,
+    with_isolates: bool = False,
+) -> ClickGraph:
+    """A weighted click graph made of several disjoint connected components.
+
+    Component ``k`` owns queries ``c{k}_q{i}`` and ads ``c{k}_a{j}``.  Inside
+    each component a query-ad zig-zag chain guarantees connectivity, and
+    ``extra_edges`` additional random edges thicken it; all edge statistics
+    are drawn from a seeded RNG so the graph is fully deterministic.  With
+    ``with_isolates`` one zero-degree query and ad are added per component's
+    namespace (isolated nodes form their own singleton components).
+    """
+    if num_components < 1 or queries_per_component < 1 or ads_per_component < 1:
+        raise ValueError("multi_component_graph needs at least one of everything")
+    rng = random.Random(seed)
+    graph = ClickGraph()
+    for k in range(num_components):
+        queries = [f"c{k}_q{i}" for i in range(queries_per_component)]
+        ads = [f"c{k}_a{j}" for j in range(ads_per_component)]
+
+        def add(query: str, ad: str) -> None:
+            clicks = rng.randint(1, 80)
+            impressions = clicks + rng.randint(0, 400)
+            graph.add_edge(
+                query,
+                ad,
+                impressions=impressions,
+                clicks=clicks,
+                expected_click_rate=round(rng.uniform(0.01, 0.5), 4),
+                merge=True,
+            )
+
+        # Zig-zag chain query0 - ad0 - query1 - ad1 - ... keeps the component
+        # connected whatever the random extras do.
+        chain_length = max(queries_per_component, ads_per_component)
+        for step in range(chain_length):
+            query = queries[min(step, queries_per_component - 1)]
+            add(query, ads[min(step, ads_per_component - 1)])
+            if step + 1 < queries_per_component:
+                add(queries[step + 1], ads[min(step, ads_per_component - 1)])
+        for _ in range(extra_edges):
+            add(rng.choice(queries), rng.choice(ads))
+        if with_isolates:
+            graph.add_query(f"c{k}_isolated_query")
+            graph.add_ad(f"c{k}_isolated_ad")
+    return graph
+
+
+def equivalence_scenarios() -> Dict[str, Callable[[], ClickGraph]]:
+    """Named scenario graphs the cross-backend equivalence harness runs on.
+
+    Every similarity backend (reference node-pair, dense matrix, sharded)
+    must produce the same scores on each of these; ``tests/equivalence/``
+    parametrizes over this registry, so new scenarios added here are picked
+    up by the safety net automatically.
+    """
+    return {
+        "figure3": figure3_graph,
+        "k22_fragment": lambda: figure4_graphs()[0],
+        "two_components_tiny": lambda: multi_component_graph(
+            num_components=2, queries_per_component=2, ads_per_component=2, seed=3
+        ),
+        "five_components_weighted": lambda: multi_component_graph(
+            num_components=5, queries_per_component=4, ads_per_component=3, seed=11
+        ),
+        "uneven_components_with_isolates": lambda: multi_component_graph(
+            num_components=3,
+            queries_per_component=5,
+            ads_per_component=2,
+            extra_edges=5,
+            seed=29,
+            with_isolates=True,
+        ),
+    }
 
 
 def complete_bipartite_graph(

@@ -54,6 +54,31 @@ class TestLifecycle:
         engine.fit(small_weighted_graph)
         assert engine.cache_info() == type(engine.cache_info())(hits=0, misses=0, size=0)
 
+    def test_refit_on_a_changed_graph_serves_fresh_rewrites(self, small_weighted_graph):
+        """Regression: a second fit() must invalidate every per-query cache layer.
+
+        Serving a query, refitting on a graph where that query's edges changed,
+        and serving again must reflect the new graph -- a stale engine cache or
+        rewriter memo would silently return the first fit's rewrites.
+        """
+        engine = RewriteEngine.from_graph(
+            small_weighted_graph, EngineConfig(method="simrank")
+        ).fit()
+        before = [r.rewrite for r in engine.rewrite("camera").rewrites]
+        assert "digital camera" in before
+
+        rewired = small_weighted_graph.copy()
+        for ad in list(rewired.ads_of("digital camera")):
+            rewired.remove_edge("digital camera", ad)
+        engine.fit(rewired)
+        after = [r.rewrite for r in engine.rewrite("camera").rewrites]
+        assert "digital camera" not in after
+
+        # And the direct rewriter memo (not just the engine-level cache) is fresh:
+        assert "digital camera" not in [
+            r.rewrite for r in engine._rewriter.rewrites_for("camera").rewrites
+        ]
+
     def test_unknown_method_fails_at_construction(self):
         with pytest.raises(ValueError):
             RewriteEngine(EngineConfig(method="not-a-method"))

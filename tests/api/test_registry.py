@@ -59,9 +59,9 @@ class TestBuiltins:
             method = create(name)
             assert isinstance(method, QuerySimilarityMethod)
 
-    def test_simrank_family_has_both_backends(self):
+    def test_simrank_family_has_all_backends(self):
         for name in ("simrank", "evidence_simrank", "weighted_simrank"):
-            assert available_backends(name) == ("matrix", "reference")
+            assert available_backends(name) == ("matrix", "reference", "sharded")
 
     def test_specs_carry_descriptions(self):
         for name in available_methods():

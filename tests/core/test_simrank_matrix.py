@@ -82,3 +82,40 @@ class TestMatrixEngineBehaviour:
         strict = MatrixSimrank(paper_config, mode="simrank", min_score=0.5).fit(fig3_graph)
         loose = MatrixSimrank(paper_config, mode="simrank", min_score=1e-12).fit(fig3_graph)
         assert len(strict.similarities()) <= len(loose.similarities())
+
+
+class TestIsolatedNodeSkipping:
+    """Zero-degree nodes stay out of the dense iteration entirely."""
+
+    @pytest.fixture
+    def fig3_with_isolates(self, fig3_graph):
+        fig3_graph.add_query("never clicked")
+        fig3_graph.add_ad("never-shown.com")
+        return fig3_graph
+
+    def test_isolated_nodes_not_in_matrices(self, fig3_with_isolates, paper_config):
+        method = MatrixSimrank(paper_config, mode="simrank").fit(fig3_with_isolates)
+        matrix, index = method.query_matrix()
+        assert "never clicked" not in index
+        assert matrix.shape == (5, 5)  # the five connected Figure 3 queries
+
+    def test_isolated_nodes_still_score_correctly(self, fig3_with_isolates, paper_config):
+        method = MatrixSimrank(paper_config, mode="simrank").fit(fig3_with_isolates)
+        assert method.query_similarity("never clicked", "never clicked") == 1.0
+        assert method.query_similarity("never clicked", "camera") == 0.0
+        assert method.ad_similarity("never-shown.com", "never-shown.com") == 1.0
+        assert method.ad_similarity("never-shown.com", "hp.com") == 0.0
+
+    @pytest.mark.parametrize("mode", ["simrank", "evidence", "weighted"])
+    def test_connected_scores_unchanged_by_isolates(self, fig3_graph, paper_config, mode):
+        config = SimrankConfig(
+            c1=paper_config.c1, c2=paper_config.c2,
+            iterations=paper_config.iterations, zero_evidence_floor=0.1,
+        )
+        plain = MatrixSimrank(config, mode=mode).fit(fig3_graph)
+        padded_graph = fig3_graph.copy()
+        for extra in range(5):
+            padded_graph.add_query(f"isolated q{extra}")
+            padded_graph.add_ad(f"isolated-a{extra}.com")
+        padded = MatrixSimrank(config, mode=mode).fit(padded_graph)
+        assert plain.similarities().max_difference(padded.similarities()) == 0.0

@@ -1,0 +1,106 @@
+"""Unit tests of the component-sharded SimRank backend."""
+
+import pytest
+
+from repro.core.config import SimrankConfig
+from repro.core.simrank_matrix import MatrixSimrank
+from repro.core.simrank_sharded import ShardedSimrank
+from repro.graph.click_graph import ClickGraph
+from repro.synth.scenarios import multi_component_graph
+
+
+@pytest.fixture
+def four_component_graph() -> ClickGraph:
+    return multi_component_graph(num_components=4, seed=17)
+
+
+class TestSharding:
+    def test_one_shard_per_edge_carrying_component(self, four_component_graph):
+        method = ShardedSimrank(SimrankConfig(iterations=5)).fit(four_component_graph)
+        assert method.num_shards == 4
+
+    def test_shards_sorted_largest_first(self, four_component_graph):
+        method = ShardedSimrank(SimrankConfig(iterations=5)).fit(four_component_graph)
+        sizes = method.shard_sizes()
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_isolated_nodes_form_no_shards(self):
+        graph = multi_component_graph(num_components=2, with_isolates=True, seed=7)
+        method = ShardedSimrank(SimrankConfig(iterations=5)).fit(graph)
+        assert method.num_shards == 2
+        assert method.shard_of("c0_isolated_query") is None
+        assert method.query_similarity("c0_isolated_query", "c0_isolated_query") == 1.0
+        assert method.query_similarity("c0_isolated_query", "c0_q0") == 0.0
+
+    def test_shard_of_maps_queries_to_their_component(self, four_component_graph):
+        method = ShardedSimrank(SimrankConfig(iterations=5)).fit(four_component_graph)
+        for k in range(4):
+            shard_ids = {method.shard_of(f"c{k}_q{i}") for i in range(4)}
+            assert len(shard_ids) == 1
+        all_ids = {method.shard_of(f"c{k}_q0") for k in range(4)}
+        assert len(all_ids) == 4
+
+    def test_empty_graph(self):
+        method = ShardedSimrank(SimrankConfig(iterations=5)).fit(ClickGraph())
+        assert method.num_shards == 0
+        assert len(method.similarities()) == 0
+
+
+class TestScores:
+    @pytest.mark.parametrize("mode", ["simrank", "evidence", "weighted"])
+    def test_matches_dense_engine(self, four_component_graph, mode):
+        config = SimrankConfig(iterations=7, zero_evidence_floor=0.1)
+        dense = MatrixSimrank(config, mode=mode).fit(four_component_graph)
+        sharded = ShardedSimrank(config, mode=mode).fit(four_component_graph)
+        assert dense.similarities().max_difference(sharded.similarities()) < 1e-12
+
+    def test_cross_component_pairs_score_zero(self, four_component_graph):
+        method = ShardedSimrank(SimrankConfig(iterations=5)).fit(four_component_graph)
+        assert method.query_similarity("c0_q0", "c1_q0") == 0.0
+        assert method.ad_similarity("c0_a0", "c1_a0") == 0.0
+
+    def test_ad_similarity_within_component(self, four_component_graph):
+        config = SimrankConfig(iterations=7)
+        dense = MatrixSimrank(config).fit(four_component_graph)
+        sharded = ShardedSimrank(config).fit(four_component_graph)
+        assert sharded.ad_similarity("c0_a0", "c0_a1") == pytest.approx(
+            dense.ad_similarity("c0_a0", "c0_a1"), abs=1e-12
+        )
+        assert sharded.ad_similarity("c0_a0", "c0_a0") == 1.0
+        assert sharded.ad_similarity("c0_a0", "unknown") == 0.0
+
+
+class TestWorkerPool:
+    @pytest.mark.parametrize("n_jobs", [2, -1])
+    def test_parallel_fit_matches_serial(self, four_component_graph, n_jobs):
+        config = SimrankConfig(iterations=5)
+        serial = ShardedSimrank(config, mode="weighted", n_jobs=1).fit(
+            four_component_graph
+        )
+        parallel = ShardedSimrank(config, mode="weighted", n_jobs=n_jobs).fit(
+            four_component_graph
+        )
+        assert serial.similarities().max_difference(parallel.similarities()) == 0.0
+
+    @pytest.mark.parametrize("n_jobs", [0, -2])
+    def test_invalid_n_jobs_rejected(self, n_jobs):
+        with pytest.raises(ValueError):
+            ShardedSimrank(n_jobs=n_jobs)
+
+
+class TestValidation:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            ShardedSimrank(mode="bogus")
+
+    def test_reported_name_follows_mode(self):
+        assert ShardedSimrank(mode="simrank").name == "simrank"
+        assert ShardedSimrank(mode="evidence").name == "evidence_simrank"
+        assert ShardedSimrank(mode="weighted").name == "weighted_simrank"
+
+    def test_requires_fit_before_access(self):
+        method = ShardedSimrank()
+        with pytest.raises(RuntimeError):
+            method.similarities()
+        with pytest.raises(RuntimeError):
+            method.num_shards

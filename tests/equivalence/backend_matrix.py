@@ -1,0 +1,28 @@
+"""The fixture matrix of the cross-backend equivalence harness.
+
+One place defines what "equivalent" means: which scenario graphs, which
+SimRank configurations, which evidence modes and how much per-pair score
+disagreement is tolerated.  ``conftest.py`` turns the scenario and
+configuration tables into parametrized fixtures; the tests import the rest.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SimrankConfig
+from repro.synth.scenarios import equivalence_scenarios
+
+#: Named scenario click-graph builders (see repro.synth.scenarios).
+SCENARIOS = equivalence_scenarios()
+
+#: Configurations the backends must agree under: the paper's defaults and the
+#: evaluation harness's zero-evidence-floor variant.
+CONFIGS = {
+    "paper": SimrankConfig(c1=0.8, c2=0.8, iterations=7),
+    "floored": SimrankConfig(c1=0.8, c2=0.8, iterations=5, zero_evidence_floor=0.1),
+}
+
+#: The three evidence modes, by registered method name.
+MODES = ["simrank", "evidence_simrank", "weighted_simrank"]
+
+#: Maximum per-pair score disagreement tolerated between any two backends.
+TOLERANCE = 1e-6

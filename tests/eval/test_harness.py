@@ -121,3 +121,18 @@ class TestHarnessOptions:
         )
         result = harness.run()
         assert set(result.methods) == {"simrank", "weighted_simrank"}
+
+    def test_sharded_backend_runs_the_full_pipeline(self, tiny_workload):
+        """--backend sharded works end-to-end, matching the matrix coverage."""
+        kwargs = dict(
+            workload=tiny_workload,
+            methods=["weighted_simrank"],
+            config=SimrankConfig(iterations=3, zero_evidence_floor=0.05),
+            desirability_cases=2,
+            max_evaluation_queries=10,
+            traffic_sample_size=100,
+        )
+        sharded = ExperimentHarness(backend="sharded", **kwargs).run()
+        dense = ExperimentHarness(backend="matrix", **kwargs).run()
+        assert sharded.coverage_by_method() == dense.coverage_by_method()
+        assert set(sharded.desirability) == {"weighted_simrank"}

@@ -1,0 +1,118 @@
+"""Property-based tests of component decomposition and score stitching.
+
+Sharding is only sound if (a) connected components partition the node set,
+(b) no edge crosses a component boundary and (c) the stitched scores look
+exactly like similarity scores should: symmetric, bounded in [0, 1], unit on
+the diagonal and zero across shards.  Random bipartite click graphs probe
+all of it.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import SimrankConfig
+from repro.core.simrank_sharded import ShardedSimrank
+from repro.graph.click_graph import ClickGraph
+from repro.graph.components import connected_components
+
+
+@st.composite
+def click_graphs(draw, max_queries=7, max_ads=6):
+    """Random small weighted bipartite click graphs, isolated nodes included."""
+    num_queries = draw(st.integers(min_value=1, max_value=max_queries))
+    num_ads = draw(st.integers(min_value=1, max_value=max_ads))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_queries - 1),
+                st.integers(0, num_ads - 1),
+                st.integers(1, 50),          # clicks
+                st.integers(0, 200),         # extra impressions on top of clicks
+                st.floats(0.01, 0.9),        # expected click rate
+            ),
+            min_size=0,
+            max_size=16,
+        )
+    )
+    graph = ClickGraph()
+    # Register every node up front so some stay isolated when the edge list
+    # never touches them -- sharding must cope with zero-degree nodes.
+    for query_index in range(num_queries):
+        graph.add_query(f"q{query_index}")
+    for ad_index in range(num_ads):
+        graph.add_ad(f"a{ad_index}")
+    for query_index, ad_index, clicks, extra, ecr in edges:
+        graph.add_edge(
+            f"q{query_index}",
+            f"a{ad_index}",
+            impressions=clicks + extra,
+            clicks=clicks,
+            expected_click_rate=ecr,
+            merge=True,
+        )
+    return graph
+
+
+CONFIG = SimrankConfig(iterations=5, zero_evidence_floor=0.1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=click_graphs())
+def test_components_partition_the_node_set(graph):
+    """Every node lands in exactly one component; components are disjoint."""
+    components = connected_components(graph)
+    seen_queries, seen_ads = [], []
+    for queries, ads in components:
+        seen_queries.extend(queries)
+        seen_ads.extend(ads)
+    assert sorted(seen_queries, key=repr) == sorted(graph.queries(), key=repr)
+    assert sorted(seen_ads, key=repr) == sorted(graph.ads(), key=repr)
+    assert len(seen_queries) == len(set(seen_queries))
+    assert len(seen_ads) == len(set(seen_ads))
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=click_graphs())
+def test_no_edge_crosses_a_component_boundary(graph):
+    """Each edge's endpoints always belong to the same component."""
+    components = connected_components(graph)
+    query_home = {}
+    ad_home = {}
+    for index, (queries, ads) in enumerate(components):
+        for query in queries:
+            query_home[query] = index
+        for ad in ads:
+            ad_home[ad] = index
+    for query, ad, _ in graph.edges():
+        assert query_home[query] == ad_home[ad], f"edge ({query!r}, {ad!r}) crosses shards"
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=click_graphs(), mode_index=st.integers(0, 2))
+def test_stitched_scores_symmetric_and_bounded(graph, mode_index):
+    """Stitched sharded scores behave like any similarity score set."""
+    mode = ("simrank", "evidence", "weighted")[mode_index]
+    method = ShardedSimrank(CONFIG, mode=mode).fit(graph)
+    queries = sorted(graph.queries(), key=repr)
+    for i, first in enumerate(queries):
+        assert method.query_similarity(first, first) == 1.0
+        for second in queries[i + 1:]:
+            forward = method.query_similarity(first, second)
+            backward = method.query_similarity(second, first)
+            assert forward == backward
+            assert 0.0 <= forward <= 1.0 + 1e-12
+            assert not math.isnan(forward)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=click_graphs())
+def test_cross_shard_pairs_score_zero(graph):
+    """Queries in different shards (or unsharded isolates) never score."""
+    method = ShardedSimrank(CONFIG, mode="weighted").fit(graph)
+    queries = sorted(graph.queries(), key=repr)
+    for i, first in enumerate(queries):
+        for second in queries[i + 1:]:
+            first_shard = method.shard_of(first)
+            if first_shard is None or first_shard != method.shard_of(second):
+                assert method.query_similarity(first, second) == 0.0
