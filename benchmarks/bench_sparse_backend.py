@@ -1,0 +1,161 @@
+"""Sparse-backend speedup gate plus the perf-trajectory artifact.
+
+Production click graphs are huge but extremely sparse, so the sparse CSR
+engine's cost tracks the nonzeros while the dense engine pays ``O(n^2)``
+memory and ``O(n^3)`` multiply time regardless of structure.  On the
+1500-node sparse scenario graph below, :class:`SparseSimrank` (exact, no
+truncation) must fit at least 3x faster than the dense engine while
+producing identical scores -- that is the CI gate.
+
+The run also times fit + top-k serving across three graph sizes and writes
+``BENCH_sparse_backend.json`` next to this file: a machine-readable
+perf-trajectory artifact recording, per size, the dense/sparse fit times,
+the serving time, the measured speedup, and the peak entry count of the
+array-backed score store (pairs and stored matrix values) next to what the
+old dict-of-dicts store would have materialized (two dict entries per pair).
+
+Run the gate and the timing figures with::
+
+    PYTHONPATH=src python -m pytest -q -s benchmarks/bench_sparse_backend.py
+    PYTHONPATH=src python benchmarks/bench_sparse_backend.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.config import SimrankConfig
+from repro.core.simrank_matrix import MatrixSimrank
+from repro.core.simrank_sparse import SparseSimrank
+from repro.synth.scenarios import multi_component_graph
+
+SPEEDUP_FLOOR = 3.0
+SERVING_QUERIES = 200
+TOP_K = 5
+
+CONFIG = SimrankConfig(iterations=7, zero_evidence_floor=0.1)
+
+#: (label, multi_component_graph parameters) -- ~25%, ~50% and 100% of the
+#: 1500-node gate scenario; the last entry is the gated one.
+SIZES = [
+    ("375_nodes", dict(num_components=8, queries_per_component=30, ads_per_component=17, extra_edges=24, seed=41)),
+    ("750_nodes", dict(num_components=15, queries_per_component=30, ads_per_component=20, extra_edges=45, seed=41)),
+    ("1500_nodes", dict(num_components=30, queries_per_component=30, ads_per_component=20, extra_edges=90, seed=41)),
+]
+
+ARTIFACT_PATH = Path(__file__).resolve().parent / "BENCH_sparse_backend.json"
+
+
+def build_graph(label: str):
+    """The named sparse scenario graph (several small weighted components)."""
+    parameters = dict(next(params for name, params in SIZES if name == label))
+    return multi_component_graph(**parameters)
+
+
+def best_fit_seconds(method_factory, graph, rounds=3):
+    """Fastest of ``rounds`` full fits (best-of to damp scheduler noise)."""
+    best = float("inf")
+    for _ in range(rounds):
+        method = method_factory()
+        start = time.perf_counter()
+        method.fit(graph)
+        best = min(best, time.perf_counter() - start)
+    return best, method
+
+
+def serving_seconds(method, graph, num_queries=SERVING_QUERIES, k=TOP_K):
+    """Time of ``num_queries`` top-k lookups straight off the score store."""
+    queries = sorted(graph.queries(), key=repr)[:num_queries]
+    start = time.perf_counter()
+    for query in queries:
+        method.top_rewrites(query, k=k)
+    return time.perf_counter() - start
+
+
+def measure(label: str) -> dict:
+    """Fit + serving measurements of both backends on one scenario size."""
+    graph = build_graph(label)
+    dense_seconds, dense = best_fit_seconds(
+        lambda: MatrixSimrank(CONFIG, mode="weighted"), graph
+    )
+    sparse_seconds, sparse = best_fit_seconds(
+        lambda: SparseSimrank(CONFIG, mode="weighted"), graph
+    )
+    # Equal scores first -- a fast wrong answer must not pass the gate.
+    difference = dense.similarities().max_difference(sparse.similarities())
+    store = sparse.similarities()
+    return {
+        "label": label,
+        "queries": graph.num_queries,
+        "ads": graph.num_ads,
+        "edges": graph.num_edges,
+        "dense_fit_seconds": dense_seconds,
+        "sparse_fit_seconds": sparse_seconds,
+        "speedup": dense_seconds / sparse_seconds,
+        "max_score_difference": difference,
+        "dense_serving_seconds": serving_seconds(dense, graph),
+        "sparse_serving_seconds": serving_seconds(sparse, graph),
+        "serving_queries": SERVING_QUERIES,
+        "serving_top_k": TOP_K,
+        # Peak footprint of the array-backed store: stored pairs and stored
+        # matrix values, next to the two-dict-entries-per-pair the old
+        # dict-of-dicts container would have materialized.
+        "store_pairs": len(store),
+        "store_entries": int(store.matrix.nnz),
+        "dict_equivalent_entries": 2 * len(store),
+    }
+
+
+def write_artifact(results) -> None:
+    payload = {
+        "benchmark": "bench_sparse_backend",
+        "config": {
+            "iterations": CONFIG.iterations,
+            "zero_evidence_floor": CONFIG.zero_evidence_floor,
+            "mode": "weighted",
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
+        "results": results,
+    }
+    ARTIFACT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def test_sparse_fit_is_at_least_3x_faster_than_dense():
+    """The acceptance gate -- and the producer of BENCH_sparse_backend.json."""
+    results = [measure(label) for label, _ in SIZES]
+    write_artifact(results)
+    gated = results[-1]
+    assert gated["label"] == "1500_nodes"
+    assert gated["queries"] + gated["ads"] == 1500
+    print(
+        f"\ndense fit {gated['dense_fit_seconds'] * 1000:.1f} ms, sparse fit "
+        f"{gated['sparse_fit_seconds'] * 1000:.1f} ms, speedup "
+        f"{gated['speedup']:.1f}x; store holds {gated['store_pairs']} pairs "
+        f"({gated['store_entries']} values vs {gated['dict_equivalent_entries']} "
+        f"dict entries); artifact: {ARTIFACT_PATH.name}"
+    )
+    assert gated["max_score_difference"] < 1e-9
+    assert gated["speedup"] >= SPEEDUP_FLOOR, (
+        f"sparse backend only {gated['speedup']:.2f}x faster than dense "
+        f"(floor: {SPEEDUP_FLOOR}x)"
+    )
+
+
+def main() -> None:
+    results = [measure(label) for label, _ in SIZES]
+    write_artifact(results)
+    for row in results:
+        print(
+            f"{row['label']:>10}: dense {row['dense_fit_seconds'] * 1000:8.1f} ms, "
+            f"sparse {row['sparse_fit_seconds'] * 1000:7.1f} ms "
+            f"({row['speedup']:4.1f}x), serve {SERVING_QUERIES}x top-{TOP_K} "
+            f"{row['sparse_serving_seconds'] * 1000:6.1f} ms, "
+            f"{row['store_pairs']} pairs stored"
+        )
+    print(f"wrote {ARTIFACT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

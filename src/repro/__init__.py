@@ -54,7 +54,9 @@ from repro.core import (
     PearsonSimilarity,
     QueryRewriter,
     ShardedSimrank,
+    SparseSimrank,
     SimilarityScores,
+    ArraySimilarityScores,
     SimrankConfig,
     WeightedSimrank,
     create_method,
@@ -76,7 +78,9 @@ __all__ = [
     "PearsonSimilarity",
     "QueryRewriter",
     "ShardedSimrank",
+    "SparseSimrank",
     "SimilarityScores",
+    "ArraySimilarityScores",
     "SimrankConfig",
     "WeightedSimrank",
     "create_method",

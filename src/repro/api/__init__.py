@@ -16,10 +16,11 @@ This package is the single front door to the library for serving workloads:
 Choosing a backend
 ------------------
 
-The SimRank family ships three interchangeable backends, selected with
+The SimRank family ships four interchangeable backends, selected with
 ``EngineConfig(backend=...)`` (or ``--backend`` on the experiments CLI); all
-three compute the same fixpoint and agree within 1e-6 -- the standing
-``tests/equivalence/`` harness asserts exactly that for every mode.
+compute the same fixpoint and agree within 1e-6 -- the standing
+``tests/equivalence/`` harness asserts exactly that for every mode (the
+``sparse`` backend with truncation disabled, its default).
 
 ``reference``
     The node-pair implementations that follow the paper's equations
@@ -32,14 +33,36 @@ three compute the same fixpoint and agree within 1e-6 -- the standing
     dense products are BLAS-fast but cost O(n^2) memory regardless of
     structure.
 ``sharded``
-    Decomposes the click graph into connected components and runs the dense
-    engine per component, stitching the per-component scores (cross-component
-    pairs provably score zero).  The default choice for realistic click
-    graphs, which are highly disconnected: memory and time scale with the
-    largest component, not the whole graph, and independent components can be
-    fitted on a thread pool (``ShardedSimrank(n_jobs=...)``).
+    Decomposes the click graph into connected components and runs a
+    whole-graph engine per component, stitching the per-component score
+    matrices block-diagonally (cross-component pairs provably score zero).
+    The right choice for realistic click graphs, which are highly
+    disconnected: memory and time scale with the largest component, not the
+    whole graph, and independent components can be fitted on a thread pool
+    (``ShardedSimrank(n_jobs=...)``).  ``ShardedSimrank(inner_backend=
+    "sparse")`` composes sharding with the sparse engine below.
     ``benchmarks/bench_sharded_backend.py`` gates the speedup (>= 2x over
     ``matrix`` on a 10-component graph).
+``sparse``
+    The same Jacobi iteration on ``scipy.sparse`` CSR matrices, so each
+    iteration costs work proportional to the *nonzeros* of the score
+    matrices instead of n^2 -- the right choice for huge sparse click graphs
+    even when they are well connected.  Two pruning knobs on
+    ``SimrankConfig`` bound fill-in: ``prune_threshold`` drops entries below
+    an epsilon after every iteration and ``prune_top_k`` caps the retained
+    entries per row.  Both default to off, which makes the computation exact
+    (the same fixpoint as ``matrix`` to machine precision); with pruning on, scores
+    are approximate -- a dropped entry perturbs downstream scores by at most
+    ``prune_threshold * c / (1 - c)`` per endpoint -- but top-k *serving* is
+    unaffected as long as ``prune_top_k`` comfortably exceeds the rewrite
+    depth.  ``benchmarks/bench_sparse_backend.py`` gates the speedup (>= 3x
+    over ``matrix`` on a 1500-node sparse scenario, measured ~14x) and
+    records the ``BENCH_sparse_backend.json`` perf trajectory.
+
+All backends serve scores through the array-backed
+:class:`~repro.core.scores_array.ArraySimilarityScores` store, which wraps
+the final score matrix directly instead of materializing millions of dict
+entries.
 """
 
 from repro.api.config import EngineConfig

@@ -29,6 +29,8 @@ _SIMILARITY_DECODERS = {
     "weight_source": WeightSource,
     "evidence": EvidenceKind,
     "zero_evidence_floor": float,
+    "prune_threshold": float,
+    "prune_top_k": int,
 }
 
 
@@ -102,6 +104,8 @@ class EngineConfig:
                 "weight_source": self.similarity.weight_source.value,
                 "evidence": self.similarity.evidence.value,
                 "zero_evidence_floor": self.similarity.zero_evidence_floor,
+                "prune_threshold": self.similarity.prune_threshold,
+                "prune_top_k": self.similarity.prune_top_k,
             },
             "max_rewrites": self.max_rewrites,
             "candidate_pool": self.candidate_pool,

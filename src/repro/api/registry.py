@@ -16,14 +16,17 @@ and the chosen backend name.  Decorating a
 is also supported; the class is instantiated with ``config=`` when its
 constructor accepts it.
 
-Three backends exist for the SimRank family: ``reference`` (node-pair
+Four backends exist for the SimRank family: ``reference`` (node-pair
 implementations faithful to the paper's equations, good for small graphs and
 traces), ``matrix`` (same fixpoint, dense linear algebra, used for
-experiments) and ``sharded`` (same fixpoint computed per connected component
-on block-diagonal numpy structures -- the fast choice for the disconnected
-click graphs of practice; see :mod:`repro.core.simrank_sharded`).  Methods
-that do not distinguish backends register the same factory under every name
-so callers never have to special-case them.
+experiments), ``sharded`` (same fixpoint computed per connected component on
+block-diagonal structures -- the fast choice for the disconnected click
+graphs of practice; see :mod:`repro.core.simrank_sharded`) and ``sparse``
+(the fixpoint on ``scipy.sparse`` CSR matrices with optional epsilon/top-k
+pruning, whose cost tracks the nonzeros instead of ``n^2``; see
+:mod:`repro.core.simrank_sparse`).  Methods that do not distinguish backends
+register the same factory under every name so callers never have to
+special-case them.
 """
 
 from __future__ import annotations
@@ -39,6 +42,7 @@ from repro.core.pearson import PearsonSimilarity
 from repro.core.simrank import BipartiteSimrank
 from repro.core.simrank_matrix import MatrixSimrank
 from repro.core.simrank_sharded import ShardedSimrank
+from repro.core.simrank_sparse import SparseSimrank
 from repro.core.similarity_base import QuerySimilarityMethod
 from repro.core.weighted_simrank import WeightedSimrank
 
@@ -99,7 +103,7 @@ _REGISTRY: Dict[str, MethodSpec] = {}
 #: Backends of the SimRank family (and, for uniformity, the default set every
 #: backend-agnostic method registers under, so one ``--backend`` flag can be
 #: applied to a whole method lineup without special cases).
-SIMRANK_BACKENDS: Tuple[str, ...] = ("matrix", "reference", "sharded")
+SIMRANK_BACKENDS: Tuple[str, ...] = ("matrix", "reference", "sharded", "sparse")
 
 
 def register_method(
@@ -248,6 +252,8 @@ def _build_simrank(config: SimrankConfig, backend: str) -> QuerySimilarityMethod
         return BipartiteSimrank(config=config)
     if backend == "sharded":
         return ShardedSimrank(config=config, mode="simrank")
+    if backend == "sparse":
+        return SparseSimrank(config=config, mode="simrank")
     return MatrixSimrank(config=config, mode="simrank")
 
 
@@ -257,6 +263,8 @@ def _build_evidence_simrank(config: SimrankConfig, backend: str) -> QuerySimilar
         return EvidenceSimrank(config=config)
     if backend == "sharded":
         return ShardedSimrank(config=config, mode="evidence")
+    if backend == "sparse":
+        return SparseSimrank(config=config, mode="evidence")
     return MatrixSimrank(config=config, mode="evidence")
 
 
@@ -266,6 +274,8 @@ def _build_weighted_simrank(config: SimrankConfig, backend: str) -> QuerySimilar
         return WeightedSimrank(config=config)
     if backend == "sharded":
         return ShardedSimrank(config=config, mode="weighted")
+    if backend == "sparse":
+        return SparseSimrank(config=config, mode="weighted")
     return MatrixSimrank(config=config, mode="weighted")
 
 

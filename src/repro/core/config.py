@@ -56,6 +56,17 @@ class SimrankConfig:
         signal for zero-evidence pairs.  Setting a small positive floor
         (e.g. 0.1) retains that fraction of the structural score; the
         evaluation harness does so and EXPERIMENTS.md documents it.
+    prune_threshold:
+        Per-iteration truncation epsilon of the ``sparse`` backend
+        (:class:`~repro.core.simrank_sparse.SparseSimrank`): score entries
+        below it are dropped after every iteration.  0 (the default)
+        disables truncation and keeps the sparse computation exact; other
+        backends ignore the knob.
+    prune_top_k:
+        Per-row retention cap of the ``sparse`` backend: after truncation
+        only the ``prune_top_k`` largest entries of each score row are kept
+        (0, the default, keeps all).  Serving-exact as long as it comfortably
+        exceeds the rewrite depth; other backends ignore the knob.
     """
 
     c1: float = 0.8
@@ -65,6 +76,8 @@ class SimrankConfig:
     weight_source: WeightSource = WeightSource.EXPECTED_CLICK_RATE
     evidence: EvidenceKind = EvidenceKind.GEOMETRIC
     zero_evidence_floor: float = 0.0
+    prune_threshold: float = 0.0
+    prune_top_k: int = 0
 
     def __post_init__(self) -> None:
         if not 0 < self.c1 <= 1:
@@ -79,6 +92,12 @@ class SimrankConfig:
             raise ValueError(
                 f"zero_evidence_floor must be in [0, 1), got {self.zero_evidence_floor}"
             )
+        if not 0 <= self.prune_threshold < 1:
+            raise ValueError(
+                f"prune_threshold must be in [0, 1), got {self.prune_threshold}"
+            )
+        if self.prune_top_k < 0:
+            raise ValueError(f"prune_top_k must be >= 0, got {self.prune_top_k}")
 
     def with_decay(self, c1: float, c2: float = None) -> "SimrankConfig":
         """Copy of the configuration with different decay factors."""

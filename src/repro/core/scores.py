@@ -8,6 +8,7 @@ stored; missing pairs score 0.
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, Hashable, Iterable, Iterator, List, Tuple
 
 __all__ = ["SimilarityScores"]
@@ -56,26 +57,33 @@ class SimilarityScores:
         """The ``k`` most similar nodes to ``node`` with score above ``minimum``.
 
         Ties are broken deterministically by the textual representation of
-        the node identifier so experiments are reproducible.
+        the node identifier so experiments are reproducible.  Selection is a
+        bounded heap (``O(n log k)``), not a full ``O(n log n)`` sort of the
+        row -- rows are long, ``k`` is the rewrite depth.
         """
-        candidates = [
+        candidates = (
             (other, value)
             for other, value in self._by_node.get(node, {}).items()
             if value > minimum
-        ]
-        candidates.sort(key=lambda pair: (-pair[1], repr(pair[0])))
-        return candidates[:k]
+        )
+        # nsmallest under the (-score, repr) key is exactly the old full
+        # sort's order: descending score, ascending repr on ties.
+        return heapq.nsmallest(k, candidates, key=lambda pair: (-pair[1], repr(pair[0])))
 
     def pairs(self) -> Iterator[Tuple[Node, Node, float]]:
-        """Iterate each stored unordered pair exactly once."""
-        emitted = set()
+        """Iterate each stored unordered pair exactly once.
+
+        Every pair is stored under both endpoints, so yielding a row entry
+        only when the row's node was inserted before the neighbour visits
+        each unordered pair exactly once -- without the ``repr()`` strings
+        and the per-call ``emitted`` set this used to allocate.
+        """
+        position = {node: order for order, node in enumerate(self._by_node)}
         for first, row in self._by_node.items():
+            first_position = position[first]
             for second, value in row.items():
-                key = (first, second) if repr(first) <= repr(second) else (second, first)
-                if key in emitted:
-                    continue
-                emitted.add(key)
-                yield key[0], key[1], value
+                if first_position < position[second]:
+                    yield first, second, value
 
     def nodes(self) -> Iterator[Node]:
         """Nodes that appear in at least one stored pair."""

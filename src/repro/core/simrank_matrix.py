@@ -25,7 +25,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 import numpy as np
 
 from repro.core.config import EvidenceKind, SimrankConfig
-from repro.core.scores import SimilarityScores
+from repro.core.scores_array import ArraySimilarityScores
 from repro.core.similarity_base import QuerySimilarityMethod
 from repro.graph.click_graph import ClickGraph, WeightSource
 
@@ -54,6 +54,8 @@ class MatrixSimrank(QuerySimilarityMethod):
         # Report under the same name as the corresponding reference method so
         # experiment tables read like the paper's.
         self.name = {"simrank": "simrank", "evidence": "evidence_simrank", "weighted": "weighted_simrank"}[mode]
+        #: Iterations actually executed by the last fit (early exit included).
+        self.iterations_run: Optional[int] = None
         self._query_index: List[Node] = []
         self._ad_index: List[Node] = []
         self._query_matrix: Optional[np.ndarray] = None
@@ -61,7 +63,7 @@ class MatrixSimrank(QuerySimilarityMethod):
 
     # -------------------------------------------------------------- fit path
 
-    def _compute_query_scores(self, graph: ClickGraph) -> SimilarityScores:
+    def _compute_query_scores(self, graph: ClickGraph) -> ArraySimilarityScores:
         # Zero-degree nodes can only self-score (implicitly 1), so carrying
         # them through the dense iteration would only inflate the matrices.
         self._query_index = sorted(
@@ -76,7 +78,8 @@ class MatrixSimrank(QuerySimilarityMethod):
         if n_q == 0 or n_a == 0:
             self._query_matrix = np.zeros((n_q, n_q))
             self._ad_matrix = np.zeros((n_a, n_a))
-            return SimilarityScores()
+            self.iterations_run = 0
+            return self._matrix_to_scores(self._query_matrix, self._query_index)
 
         binary = np.zeros((n_q, n_a))
         weights = np.zeros((n_q, n_a))
@@ -91,15 +94,22 @@ class MatrixSimrank(QuerySimilarityMethod):
             p_query = _row_normalize(binary)
             p_ad = _row_normalize(binary.T)
 
-        evidence_query = _evidence_matrix(
-            binary, self.config.evidence, self.config.zero_evidence_floor
-        )
-        evidence_ad = _evidence_matrix(
-            binary.T, self.config.evidence, self.config.zero_evidence_floor
-        )
+        # The evidence factors only depend on the graph, so they are computed
+        # exactly once per fit (never inside the iteration) and skipped
+        # entirely for plain SimRank, which never reads them.
+        if self.mode == "simrank":
+            evidence_query = evidence_ad = None
+        else:
+            evidence_query = _evidence_matrix(
+                binary, self.config.evidence, self.config.zero_evidence_floor
+            )
+            evidence_ad = _evidence_matrix(
+                binary.T, self.config.evidence, self.config.zero_evidence_floor
+            )
 
         sim_query = np.eye(n_q)
         sim_ad = np.eye(n_a)
+        self.iterations_run = 0
         for _ in range(self.config.iterations):
             new_query = self.config.c1 * (p_query @ sim_ad @ p_query.T)
             new_ad = self.config.c2 * (p_ad @ sim_query @ p_ad.T)
@@ -108,11 +118,14 @@ class MatrixSimrank(QuerySimilarityMethod):
                 new_ad *= evidence_ad
             np.fill_diagonal(new_query, 1.0)
             np.fill_diagonal(new_ad, 1.0)
-            delta = max(
-                float(np.max(np.abs(new_query - sim_query))) if n_q else 0.0,
-                float(np.max(np.abs(new_ad - sim_ad))) if n_a else 0.0,
-            )
+            delta = 0.0
+            if self.config.tolerance > 0:
+                delta = max(
+                    float(np.max(np.abs(new_query - sim_query))) if n_q else 0.0,
+                    float(np.max(np.abs(new_ad - sim_ad))) if n_a else 0.0,
+                )
             sim_query, sim_ad = new_query, new_ad
+            self.iterations_run += 1
             if self.config.tolerance > 0 and delta < self.config.tolerance:
                 break
 
@@ -151,15 +164,13 @@ class MatrixSimrank(QuerySimilarityMethod):
 
     # ------------------------------------------------------------- internals
 
-    def _matrix_to_scores(self, matrix: np.ndarray, index: List[Node]) -> SimilarityScores:
-        scores = SimilarityScores()
-        if matrix.size == 0:
-            return scores
-        upper = np.triu(matrix, k=1)
-        rows, cols = np.nonzero(upper > self.min_score)
-        for i, j in zip(rows.tolist(), cols.tolist()):
-            scores.set(index[i], index[j], float(matrix[i, j]))
-        return scores
+    def _matrix_to_scores(
+        self, matrix: np.ndarray, index: List[Node]
+    ) -> ArraySimilarityScores:
+        # Wrap the final matrix directly instead of materializing a dict
+        # entry per pair -- on large components the eager dict copy used to
+        # dominate fit time well before the linear algebra did.
+        return ArraySimilarityScores.from_dense(matrix, index, min_score=self.min_score)
 
 
 def _row_normalize(matrix: np.ndarray) -> np.ndarray:

@@ -11,11 +11,15 @@ stay zero forever.
 
 :class:`ShardedSimrank` exploits that structure.  It decomposes the click
 graph into connected components (:func:`repro.graph.components
-.connected_components`), fits an independent :class:`MatrixSimrank` on each
-component's induced subgraph, and stitches the per-component
-:class:`~repro.core.scores.SimilarityScores` back into one result.  The dense
-work therefore shrinks from one ``n x n`` matrix to a block-diagonal family of
-``n_k x n_k`` numpy blocks (``sum n_k = n``), which is both asymptotically and
+.connected_components`), fits an independent inner engine on each component's
+induced subgraph -- :class:`MatrixSimrank` by default, or the pruned sparse
+engine (:class:`~repro.core.simrank_sparse.SparseSimrank`) with
+``inner_backend="sparse"`` -- and stitches the per-component results into one
+:class:`~repro.core.scores_array.ArraySimilarityScores` by block-diagonal
+concatenation of the per-component score matrices (cross-component pairs
+provably score zero, which is exactly the block structure).  The dense work
+therefore shrinks from one ``n x n`` matrix to a block-diagonal family of
+``n_k x n_k`` blocks (``sum n_k = n``), which is both asymptotically and
 practically faster on multi-component graphs -- see
 ``benchmarks/bench_sharded_backend.py`` for the >= 2x gate.
 
@@ -35,9 +39,10 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Hashable, List, Optional
 
 from repro.core.config import SimrankConfig
-from repro.core.scores import SimilarityScores
+from repro.core.scores_array import ArraySimilarityScores
 from repro.core.similarity_base import QuerySimilarityMethod
 from repro.core.simrank_matrix import MatrixSimrank
+from repro.core.simrank_sparse import SparseSimrank
 from repro.graph.click_graph import ClickGraph
 from repro.graph.components import connected_components
 
@@ -46,6 +51,8 @@ __all__ = ["ShardedSimrank"]
 Node = Hashable
 
 _MODES = ("simrank", "evidence", "weighted")
+
+_INNER_BACKENDS = ("matrix", "sparse")
 
 
 class ShardedSimrank(QuerySimilarityMethod):
@@ -63,16 +70,25 @@ class ShardedSimrank(QuerySimilarityMethod):
         mode: str = "simrank",
         min_score: float = 1e-9,
         n_jobs: int = 1,
+        inner_backend: str = "matrix",
     ) -> None:
         super().__init__()
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
         if n_jobs == 0 or n_jobs < -1:
             raise ValueError(f"n_jobs must be a positive integer or -1, got {n_jobs}")
+        if inner_backend not in _INNER_BACKENDS:
+            raise ValueError(
+                f"inner_backend must be one of {_INNER_BACKENDS}, got {inner_backend!r}"
+            )
         self.config = config or SimrankConfig()
         self.mode = mode
         self.min_score = min_score
         self.n_jobs = n_jobs
+        #: Which engine fits each component: dense ``"matrix"`` blocks, or
+        #: ``"sparse"`` pruned CSR fixpoints (sharded + sparse composes the
+        #: two backends' savings on large disconnected graphs).
+        self.inner_backend = inner_backend
         # Report under the same name as the dense and reference engines so
         # experiment tables stay comparable across backends.
         self.name = {
@@ -81,13 +97,13 @@ class ShardedSimrank(QuerySimilarityMethod):
             "weighted": "weighted_simrank",
         }[mode]
         self._shard_graphs: List[ClickGraph] = []
-        self._shard_methods: List[MatrixSimrank] = []
+        self._shard_methods: List[QuerySimilarityMethod] = []
         self._query_shard: Dict[Node, int] = {}
         self._ad_shard: Dict[Node, int] = {}
 
     # -------------------------------------------------------------- fit path
 
-    def _compute_query_scores(self, graph: ClickGraph) -> SimilarityScores:
+    def _compute_query_scores(self, graph: ClickGraph) -> ArraySimilarityScores:
         self._shard_graphs = []
         self._shard_methods = []
         self._query_shard = {}
@@ -103,25 +119,32 @@ class ShardedSimrank(QuerySimilarityMethod):
 
         self._shard_methods = self._fit_shards(self._shard_graphs)
 
-        combined = SimilarityScores()
-        for shard_id, (subgraph, method) in enumerate(
-            zip(self._shard_graphs, self._shard_methods)
-        ):
+        for shard_id, subgraph in enumerate(self._shard_graphs):
             for query in subgraph.queries():
                 self._query_shard[query] = shard_id
             for ad in subgraph.ads():
                 self._ad_shard[ad] = shard_id
-            # Components are node-disjoint, so stitching never collides.
-            for first, second, value in method.similarities().pairs():
-                combined.set(first, second, value)
-        return combined
+        # Components are node-disjoint, so the combined score matrix is the
+        # block-diagonal of the per-component matrices -- stitched without
+        # copying a single pair.
+        return ArraySimilarityScores.stitched(
+            method.similarities() for method in self._shard_methods
+        )
 
-    def _fit_shards(self, subgraphs: List[ClickGraph]) -> List[MatrixSimrank]:
-        """Fit one dense engine per component, serially or on a thread pool."""
-        methods = [
-            MatrixSimrank(config=self.config, mode=self.mode, min_score=self.min_score)
-            for _ in subgraphs
-        ]
+    def _build_inner(self) -> QuerySimilarityMethod:
+        if self.inner_backend == "sparse":
+            # Honour both thresholds: the sharded storage cutoff and the
+            # config's truncation epsilon (whichever is stricter).
+            return SparseSimrank(
+                config=self.config,
+                mode=self.mode,
+                min_score=max(self.min_score, self.config.prune_threshold),
+            )
+        return MatrixSimrank(config=self.config, mode=self.mode, min_score=self.min_score)
+
+    def _fit_shards(self, subgraphs: List[ClickGraph]) -> List[QuerySimilarityMethod]:
+        """Fit one inner engine per component, serially or on a thread pool."""
+        methods = [self._build_inner() for _ in subgraphs]
         workers = self._resolve_jobs(len(subgraphs))
         if workers <= 1 or len(subgraphs) <= 1:
             for method, subgraph in zip(methods, subgraphs):

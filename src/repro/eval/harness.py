@@ -15,6 +15,12 @@ synthetic workload:
    both relevance thresholds (Figures 9/10) and the rewriting-depth
    distribution (Figure 11);
 5. run the desirability edge-removal experiment (Figure 12).
+
+Every step resolves similarity methods through the registry, so the
+``backend`` knob accepts any registered SimRank backend (``matrix``,
+``reference``, ``sharded``, ``sparse``); the ``sparse`` backend's pruning is
+configured on the :class:`~repro.core.config.SimrankConfig` passed in
+(``prune_threshold`` / ``prune_top_k``).
 """
 
 from __future__ import annotations

@@ -7,6 +7,7 @@ Examples::
     simrankpp-experiments --experiment all --size small --seed 42
     simrankpp-experiments --experiment figure8 --backend reference
     simrankpp-experiments --experiment figure8 --backend sharded
+    simrankpp-experiments --experiment figure8 --backend sparse --prune-threshold 1e-4
     simrankpp-experiments --list-methods
 """
 
@@ -50,8 +51,26 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(SIMRANK_BACKENDS),
         help=(
             "similarity-method backend used by the harness experiments "
-            "(sharded = per-connected-component dense blocks, fastest on "
-            "disconnected click graphs)"
+            "(sharded = per-connected-component dense blocks, sparse = "
+            "pruned CSR fixpoint whose cost tracks the graph's nonzeros)"
+        ),
+    )
+    parser.add_argument(
+        "--prune-threshold",
+        type=float,
+        default=0.0,
+        help=(
+            "sparse backend only: drop score entries below this epsilon "
+            "after every iteration (0 = exact, no truncation)"
+        ),
+    )
+    parser.add_argument(
+        "--prune-top-k",
+        type=int,
+        default=0,
+        help=(
+            "sparse backend only: keep only the k largest entries per score "
+            "row after each iteration (0 = keep all)"
         ),
     )
     parser.add_argument(
@@ -77,7 +96,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             backends = "/".join(available_backends(name))
             print(f"{name:20s} [{backends}]  {spec.description}")
         return 0
-    config = SimrankConfig(c1=args.decay, c2=args.decay, iterations=args.iterations)
+    config = SimrankConfig(
+        c1=args.decay,
+        c2=args.decay,
+        iterations=args.iterations,
+        prune_threshold=args.prune_threshold,
+        prune_top_k=args.prune_top_k,
+    )
     experiments = PaperExperiments(
         workload_size=args.size,
         config=config,

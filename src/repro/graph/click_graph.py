@@ -373,12 +373,16 @@ class ClickGraph:
         return graph
 
     def to_sparse_matrix(
-        self, source: WeightSource = WeightSource.EXPECTED_CLICK_RATE
+        self,
+        source: WeightSource = WeightSource.EXPECTED_CLICK_RATE,
+        binary: bool = False,
     ) -> Tuple["object", List[Node], List[Node]]:
         """Export a query x ad ``scipy.sparse.csr_matrix`` of edge weights.
 
         Returns ``(matrix, query_index, ad_index)`` where the index lists map
-        row/column positions back to node identifiers.
+        row/column positions back to node identifiers.  With ``binary=True``
+        every edge exports as 1.0 regardless of its statistics (the adjacency
+        indicator the SimRank engines iterate on); ``source`` is ignored.
         """
         import numpy as np
         from scipy import sparse
@@ -394,7 +398,7 @@ class ClickGraph:
         for query, ad, stats in self.edges():
             rows.append(query_pos[query])
             cols.append(ad_pos[ad])
-            data.append(stats.weight(source))
+            data.append(1.0 if binary else stats.weight(source))
         matrix = sparse.csr_matrix(
             (np.array(data, dtype=float), (rows, cols)),
             shape=(len(query_index), len(ad_index)),

@@ -37,11 +37,42 @@ class TestSimilarityScores:
         scores = SimilarityScores({("q", "b"): 0.5, ("q", "a"): 0.5})
         assert [node for node, _ in scores.top("q", k=2)] == ["a", "b"]
 
+    def test_top_heap_selection_matches_full_sort(self):
+        """Regression for the heapq rewrite: exact old ordering, ties included."""
+        values = {("q", f"n{i:02d}"): round(0.1 + (i * 7 % 13) / 20, 3) for i in range(40)}
+        values[("q", "tie-b")] = values[("q", "tie-a")] = 0.9
+        scores = SimilarityScores(values)
+        row = [(other, value) for other, value in scores.neighbors("q").items()]
+        row.sort(key=lambda pair: (-pair[1], repr(pair[0])))
+        for k in (1, 3, 5, 41, 0):
+            assert scores.top("q", k=k) == row[:k]
+
     def test_pairs_iterates_each_pair_once(self):
         scores = SimilarityScores({("a", "b"): 0.1, ("b", "c"): 0.2})
         pairs = list(scores.pairs())
         assert len(pairs) == 2
         assert len(scores) == 2
+
+    def test_pairs_yields_each_unordered_pair_exactly_once(self):
+        """Regression for the insertion-order rewrite of ``pairs``."""
+        scores = SimilarityScores()
+        nodes = [f"n{i}" for i in range(8)] + [(1, 2), (2, 1), frozenset({"x"})]
+        expected = {}
+        for i, first in enumerate(nodes):
+            for second in nodes[i + 1:]:
+                value = 0.01 * (hash((i, repr(second))) % 50 + 1)
+                scores.set(first, second, value)
+                expected[frozenset((first, second))] = value
+        emitted = list(scores.pairs())
+        assert len(emitted) == len(expected)
+        assert {frozenset((a, b)) for a, b, _ in emitted} == set(expected)
+        for first, second, value in emitted:
+            assert expected[frozenset((first, second))] == pytest.approx(value)
+
+    def test_pairs_after_discard(self):
+        scores = SimilarityScores({("a", "b"): 0.1, ("b", "c"): 0.2})
+        scores.discard("a", "b")
+        assert [frozenset((a, b)) for a, b, _ in scores.pairs()] == [frozenset(("b", "c"))]
 
     def test_max_difference_and_copy(self):
         first = SimilarityScores({("a", "b"): 0.5})

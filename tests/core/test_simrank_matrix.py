@@ -84,6 +84,72 @@ class TestMatrixEngineBehaviour:
         assert len(strict.similarities()) <= len(loose.similarities())
 
 
+class TestToleranceEarlyExit:
+    """``SimrankConfig.tolerance`` must actually cut iterations short."""
+
+    @pytest.fixture
+    def fast_decay_config(self):
+        # c = 0.6 makes the per-iteration delta shrink fast enough that a
+        # 1e-3 tolerance triggers well before the 30-iteration budget.
+        return SimrankConfig(c1=0.6, c2=0.6, iterations=30)
+
+    def test_fewer_iterations_actually_run(self, fig3_graph, fast_decay_config):
+        full = MatrixSimrank(fast_decay_config, mode="simrank").fit(fig3_graph)
+        early = MatrixSimrank(
+            SimrankConfig(c1=0.6, c2=0.6, iterations=30, tolerance=1e-3),
+            mode="simrank",
+        ).fit(fig3_graph)
+        assert full.iterations_run == 30
+        assert early.iterations_run < full.iterations_run
+
+    def test_early_exit_scores_match_full_run_within_tolerance(
+        self, fig3_graph, fast_decay_config
+    ):
+        full = MatrixSimrank(fast_decay_config, mode="simrank").fit(fig3_graph)
+        early = MatrixSimrank(
+            SimrankConfig(c1=0.6, c2=0.6, iterations=30, tolerance=1e-3),
+            mode="simrank",
+        ).fit(fig3_graph)
+        # Residual after stopping is bounded by tolerance * c / (1 - c).
+        assert full.similarities().max_difference(early.similarities()) < 2e-3
+
+    def test_zero_tolerance_never_exits_early(self, fig3_graph, fast_decay_config):
+        method = MatrixSimrank(fast_decay_config, mode="simrank").fit(fig3_graph)
+        assert method.iterations_run == fast_decay_config.iterations
+
+
+class TestEvidenceMatrixHoisting:
+    """The evidence factors depend only on the graph: one computation per fit."""
+
+    @pytest.fixture
+    def evidence_call_counter(self, monkeypatch):
+        import repro.core.simrank_matrix as module
+
+        calls = []
+        original = module._evidence_matrix
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(module, "_evidence_matrix", counting)
+        return calls
+
+    @pytest.mark.parametrize("mode", ["weighted", "evidence"])
+    def test_computed_once_per_side_not_per_iteration(
+        self, fig3_graph, evidence_call_counter, mode
+    ):
+        config = SimrankConfig(iterations=6, zero_evidence_floor=0.1)
+        MatrixSimrank(config, mode=mode).fit(fig3_graph)
+        assert len(evidence_call_counter) == 2  # query side + ad side
+
+    def test_plain_simrank_never_computes_evidence(
+        self, fig3_graph, paper_config, evidence_call_counter
+    ):
+        MatrixSimrank(paper_config, mode="simrank").fit(fig3_graph)
+        assert evidence_call_counter == []
+
+
 class TestIsolatedNodeSkipping:
     """Zero-degree nodes stay out of the dense iteration entirely."""
 

@@ -1,0 +1,186 @@
+"""Unit tests of the sparse pruned SimRank backend."""
+
+import pytest
+
+from repro.core.config import SimrankConfig
+from repro.core.scores_array import ArraySimilarityScores
+from repro.core.simrank_matrix import MatrixSimrank
+from repro.core.simrank_sharded import ShardedSimrank
+from repro.core.simrank_sparse import SparseSimrank
+from repro.graph.click_graph import ClickGraph
+from repro.synth.scenarios import multi_component_graph
+
+
+@pytest.fixture
+def four_component_graph() -> ClickGraph:
+    return multi_component_graph(num_components=4, seed=17)
+
+
+class TestAgreementWithDense:
+    @pytest.mark.parametrize("mode", ["simrank", "evidence", "weighted"])
+    @pytest.mark.parametrize("floor", [0.0, 0.1])
+    def test_exact_without_truncation(self, four_component_graph, mode, floor):
+        config = SimrankConfig(iterations=7, zero_evidence_floor=floor)
+        dense = MatrixSimrank(config, mode=mode).fit(four_component_graph)
+        sparse_engine = SparseSimrank(config, mode=mode).fit(four_component_graph)
+        difference = dense.similarities().max_difference(sparse_engine.similarities())
+        assert difference < 1e-12
+
+    def test_ad_similarity_matches_dense(self, four_component_graph):
+        config = SimrankConfig(iterations=7)
+        dense = MatrixSimrank(config).fit(four_component_graph)
+        sparse_engine = SparseSimrank(config).fit(four_component_graph)
+        assert sparse_engine.ad_similarity("c0_a0", "c0_a1") == pytest.approx(
+            dense.ad_similarity("c0_a0", "c0_a1"), abs=1e-12
+        )
+        assert sparse_engine.ad_similarity("c0_a0", "c0_a0") == 1.0
+        assert sparse_engine.ad_similarity("c0_a0", "unknown") == 0.0
+
+    def test_serving_top_matches_dense(self, four_component_graph):
+        config = SimrankConfig(iterations=7)
+        dense = MatrixSimrank(config, mode="weighted").fit(four_component_graph)
+        sparse_engine = SparseSimrank(config, mode="weighted").fit(four_component_graph)
+        for query in sorted(four_component_graph.queries(), key=repr):
+            dense_top = dense.top_rewrites(query, k=5)
+            sparse_top = sparse_engine.top_rewrites(query, k=5)
+            assert [node for node, _ in dense_top] == [node for node, _ in sparse_top]
+            for (_, a), (_, b) in zip(dense_top, sparse_top):
+                assert a == pytest.approx(b, abs=1e-12)
+
+
+class TestPruning:
+    def test_truncation_drops_small_scores_but_stays_close(self, four_component_graph):
+        config = SimrankConfig(iterations=7)
+        exact = SparseSimrank(config, mode="weighted").fit(four_component_graph)
+        pruned = SparseSimrank(config, mode="weighted", min_score=1e-3).fit(
+            four_component_graph
+        )
+        assert len(pruned.similarities()) <= len(exact.similarities())
+        # Sound pruning: dropped mass is bounded by the epsilon cascade
+        # (min_score * c / (1 - c) per endpoint), far below serving scale.
+        assert exact.similarities().max_difference(pruned.similarities()) < 1e-2
+        for _, _, value in pruned.similarities().pairs():
+            assert value >= 1e-3
+
+    def test_prune_knobs_default_from_config(self, four_component_graph):
+        config = SimrankConfig(iterations=5, prune_threshold=1e-3, prune_top_k=2)
+        engine = SparseSimrank(config)
+        assert engine.min_score == 1e-3
+        assert engine.top_k == 2
+        explicit = SparseSimrank(config, min_score=0.0, top_k=0)
+        assert explicit.min_score == 0.0 and explicit.top_k is None
+
+    def test_top_k_caps_row_width_and_keeps_symmetry(self, four_component_graph):
+        config = SimrankConfig(iterations=7)
+        capped = SparseSimrank(config, mode="weighted", top_k=2).fit(
+            four_component_graph
+        )
+        scores = capped.similarities()
+        seen = {}
+        for first, second, value in scores.pairs():
+            assert scores.score(second, first) == pytest.approx(value)
+            seen.setdefault(first, 0)
+            seen.setdefault(second, 0)
+            seen[first] += 1
+            seen[second] += 1
+        # Either-endpoint retention: a row holds its own top 2 plus entries
+        # other rows kept, so the cap is loose -- but far below the exact width.
+        exact_widths = {}
+        for first, second, _ in SparseSimrank(config, mode="weighted").fit(
+            four_component_graph
+        ).similarities().pairs():
+            exact_widths[first] = exact_widths.get(first, 0) + 1
+            exact_widths[second] = exact_widths.get(second, 0) + 1
+        assert sum(seen.values()) < sum(exact_widths.values())
+
+    def test_top_k_preserves_the_largest_scores(self, four_component_graph):
+        config = SimrankConfig(iterations=7)
+        exact = SparseSimrank(config, mode="weighted").fit(four_component_graph)
+        capped = SparseSimrank(config, mode="weighted", top_k=3).fit(
+            four_component_graph
+        )
+        for query in sorted(four_component_graph.queries(), key=repr):
+            exact_top = exact.top_rewrites(query, k=3)
+            capped_top = capped.top_rewrites(query, k=3)
+            assert [node for node, _ in capped_top] == [node for node, _ in exact_top]
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            SparseSimrank(min_score=1.0)
+        with pytest.raises(ValueError):
+            SparseSimrank(min_score=-0.1)
+        with pytest.raises(ValueError):
+            SparseSimrank(top_k=-1)
+        with pytest.raises(ValueError):
+            SimrankConfig(prune_threshold=1.0)
+        with pytest.raises(ValueError):
+            SimrankConfig(prune_top_k=-1)
+
+
+class TestEngineBehaviour:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            SparseSimrank(mode="bogus")
+
+    def test_reported_name_follows_mode(self):
+        assert SparseSimrank(mode="simrank").name == "simrank"
+        assert SparseSimrank(mode="evidence").name == "evidence_simrank"
+        assert SparseSimrank(mode="weighted").name == "weighted_simrank"
+
+    def test_empty_graph(self):
+        method = SparseSimrank(SimrankConfig(iterations=5)).fit(ClickGraph())
+        assert len(method.similarities()) == 0
+        assert method.iterations_run == 0
+
+    def test_isolated_nodes_score_like_dense(self):
+        graph = multi_component_graph(num_components=2, with_isolates=True, seed=7)
+        method = SparseSimrank(SimrankConfig(iterations=5)).fit(graph)
+        assert method.query_similarity("c0_isolated_query", "c0_isolated_query") == 1.0
+        assert method.query_similarity("c0_isolated_query", "c0_q0") == 0.0
+
+    def test_returns_array_backed_store_and_sparse_matrix(self, four_component_graph):
+        method = SparseSimrank(SimrankConfig(iterations=5)).fit(four_component_graph)
+        assert isinstance(method.similarities(), ArraySimilarityScores)
+        matrix, index = method.query_matrix()
+        assert matrix.shape == (len(index), len(index))
+
+    def test_tolerance_early_exit(self, four_component_graph):
+        full = SparseSimrank(SimrankConfig(c1=0.6, c2=0.6, iterations=30)).fit(
+            four_component_graph
+        )
+        early = SparseSimrank(
+            SimrankConfig(c1=0.6, c2=0.6, iterations=30, tolerance=1e-3)
+        ).fit(four_component_graph)
+        assert full.iterations_run == 30
+        assert early.iterations_run < 30
+        assert full.similarities().max_difference(early.similarities()) < 1e-2
+
+
+class TestShardedComposition:
+    """``ShardedSimrank(inner_backend="sparse")`` composes the two backends."""
+
+    @pytest.mark.parametrize("mode", ["simrank", "evidence", "weighted"])
+    def test_matches_dense_per_component(self, four_component_graph, mode):
+        config = SimrankConfig(iterations=7, zero_evidence_floor=0.1)
+        dense = MatrixSimrank(config, mode=mode).fit(four_component_graph)
+        composed = ShardedSimrank(config, mode=mode, inner_backend="sparse").fit(
+            four_component_graph
+        )
+        assert composed.num_shards == 4
+        assert dense.similarities().max_difference(composed.similarities()) < 1e-9
+
+    def test_invalid_inner_backend_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedSimrank(inner_backend="gpu")
+
+    def test_config_prune_threshold_reaches_inner_engines(self, four_component_graph):
+        config = SimrankConfig(iterations=7, prune_threshold=1e-3)
+        composed = ShardedSimrank(config, mode="weighted", inner_backend="sparse").fit(
+            four_component_graph
+        )
+        for _, _, value in composed.similarities().pairs():
+            assert value >= 1e-3
+        exact = ShardedSimrank(
+            SimrankConfig(iterations=7), mode="weighted", inner_backend="sparse"
+        ).fit(four_component_graph)
+        assert len(composed.similarities()) <= len(exact.similarities())

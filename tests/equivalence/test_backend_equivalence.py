@@ -1,11 +1,13 @@
 """All SimRank backends must agree on all scenario graphs, in every mode.
 
 This is the standing safety net for similarity backends: the naive node-pair
-implementations (``reference``), the dense matrix engine (``matrix``) and the
-component-sharded engine (``sharded``) are interchangeable claims, and this
-module is where the claim is enforced.  A new backend registered for the
-SimRank family is picked up through the registry and has to pass the same
-matrix of scenarios x modes x configurations.
+implementations (``reference``), the dense matrix engine (``matrix``), the
+component-sharded engine (``sharded``) and the pruned sparse engine
+(``sparse``, run here with truncation disabled -- the registry default --
+so it is exact) are interchangeable claims, and this module is where the
+claim is enforced.  A new backend registered for the SimRank family is
+picked up through the registry and has to pass the same matrix of
+scenarios x modes x configurations.
 """
 
 from __future__ import annotations
@@ -65,7 +67,7 @@ class TestScoreAgreement:
         fitted = _fit_all_backends(method_name, scenario_graph, simrank_config)
         pairs = _union_pairs(method.similarities() for method in fitted.values())
         reference = fitted["reference"]
-        for other_name in ("matrix", "sharded"):
+        for other_name in ("matrix", "sharded", "sparse"):
             other = fitted[other_name]
             for first, second in sorted(pairs, key=repr):
                 assert other.query_similarity(first, second) == pytest.approx(
@@ -106,7 +108,7 @@ class TestServingEquivalence:
             engines[backend] = engine
             batches[backend] = engine.rewrite_batch(queries)
         reference = batches["reference"]
-        for backend in ("matrix", "sharded"):
+        for backend in ("matrix", "sharded", "sparse"):
             for expected, actual in zip(reference, batches[backend]):
                 context = f"{method_name}/{backend}: query {expected.query!r}"
                 assert expected.depth == actual.depth, context
@@ -128,26 +130,28 @@ class TestCrossComponentZeroes:
     """Sharding is only sound because cross-component scores are zero."""
 
     @pytest.mark.parametrize("method_name", MODES)
-    def test_dense_backend_scores_cross_component_pairs_zero(
-        self, method_name, scenario_graph, simrank_config
+    @pytest.mark.parametrize("whole_graph_backend", ["matrix", "sparse"])
+    def test_whole_graph_backends_score_cross_component_pairs_zero(
+        self, method_name, whole_graph_backend, scenario_graph, simrank_config
     ):
         sharded = create(method_name, config=simrank_config, backend="sharded").fit(
             scenario_graph
         )
-        matrix = create(method_name, config=simrank_config, backend="matrix").fit(
-            scenario_graph
-        )
+        whole = create(
+            method_name, config=simrank_config, backend=whole_graph_backend
+        ).fit(scenario_graph)
         queries = sorted(scenario_graph.queries(), key=repr)
         for first, second in itertools.combinations(queries, 2):
             if sharded.shard_of(first) != sharded.shard_of(second):
-                assert matrix.query_similarity(first, second) == 0.0
+                assert whole.query_similarity(first, second) == 0.0
 
 
 def test_scenarios_and_backends_are_nontrivial():
     """Guard the harness itself: a pruned matrix would silently weaken it."""
     assert len(SCENARIOS) >= 5
     assert len(CONFIGS) >= 2
-    assert len(SIMRANK_BACKENDS) >= 3
+    assert len(SIMRANK_BACKENDS) >= 4
+    assert "sparse" in SIMRANK_BACKENDS
     assert any(
         scores_something(build()) for build in SCENARIOS.values()
     )
