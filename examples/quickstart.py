@@ -29,7 +29,22 @@ enforces this):
   score perturbation for even less fill-in (truncation is exact only when
   both knobs are off -- serving top-k survives pruning as long as
   prune_top_k comfortably exceeds the rewrite depth).
+
+Snapshots and the serving cache
+-------------------------------
+
+Whatever the backend, the offline fit survives process restarts:
+``engine.save(path)`` persists the score store + config + bid terms and
+``RewriteEngine.load(path)`` revives a servable engine without re-running
+the fixpoint (identical rewrite lists -- the CI-gated claim of
+``benchmarks/bench_engine_snapshot.py``).  Online, the serving cache is
+bounded with ``EngineConfig(cache_size=N)`` (LRU eviction, counted in
+``cache_info().evictions``; ``None`` keeps every entry for the paper's
+full-precompute mode).
 """
+
+import tempfile
+from pathlib import Path
 
 from repro import ClickGraph, EngineConfig, RewriteEngine, SimrankConfig
 from repro.api.registry import PAPER_METHODS
@@ -131,6 +146,26 @@ def main() -> None:
         f"sparse backend:  {len(store)} stored pairs, "
         f"sim('camera', 'digital camera') = "
         f"{sparse_engine.method.query_similarity('camera', 'digital camera'):.4f}"
+    )
+
+    # Offline -> online persistence: snapshot the fitted engine, revive it in
+    # a "new process" without refitting, and serve with a bounded LRU cache.
+    with tempfile.TemporaryDirectory() as workdir:
+        snapshot = engine.save(Path(workdir) / "weighted-engine")
+        served = RewriteEngine.load(snapshot)
+        print()
+        print(
+            f"snapshot reload (no refit): rewrite('camera') -> "
+            f"{[r.rewrite for r in served.rewrite('camera').rewrites]}"
+        )
+    online = RewriteEngine.from_graph(
+        graph, config.replace(cache_size=2), bid_terms=bid_terms
+    ).fit()
+    online.rewrite_batch(["camera", "pc", "flower", "camera"])  # 3rd insert evicts
+    info = online.cache_info()
+    print(
+        f"bounded serving cache (capacity {info.capacity}): {info.size} entries, "
+        f"{info.evictions} eviction(s), hit rate {info.hit_rate:.0%}"
     )
 
 

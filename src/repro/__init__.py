@@ -43,6 +43,7 @@ works as a deprecation shim; see CHANGES.md for the migration note.
 
 from repro.api import (
     EngineConfig,
+    EngineSnapshotStore,
     RewriteEngine,
     available_methods,
     register_method,
@@ -69,6 +70,7 @@ __version__ = "1.1.0"
 
 __all__ = [
     "EngineConfig",
+    "EngineSnapshotStore",
     "RewriteEngine",
     "available_methods",
     "register_method",

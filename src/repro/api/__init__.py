@@ -63,6 +63,29 @@ All backends serve scores through the array-backed
 :class:`~repro.core.scores_array.ArraySimilarityScores` store, which wraps
 the final score matrix directly instead of materializing millions of dict
 entries.
+
+Snapshots and the serving cache
+-------------------------------
+
+The fit -> serve split survives process restarts: ``engine.save(path)``
+writes a versioned snapshot (the CSR score store via
+``scipy.sparse.save_npz`` plus a JSON manifest with the ``EngineConfig``,
+bid terms and fit metadata), and ``RewriteEngine.load(path)`` revives a
+servable engine *without refitting* -- identical rewrite lists, for every
+backend (the dict-backed ``reference`` store converts through
+``SimilarityScores.to_array`` / ``from_array``).
+:class:`~repro.api.snapshot.EngineSnapshotStore` manages named snapshots
+under one directory, the eval harness and ``simrankpp-experiments``
+(``--save-engine`` / ``--load-engine``) wire it end to end, and
+``benchmarks/bench_engine_snapshot.py`` gates snapshot loading at >= 20x
+faster than refitting.
+
+Online serving no longer requires an unbounded cache:
+``EngineConfig(cache_size=N)`` bounds the serving cache to ``N`` rewrite
+lists with least-recently-used eviction (``None``, the default, keeps every
+entry -- the paper's full-precompute mode).  Evictions are counted in
+``CacheInfo.evictions``; an evicted query costs one recompute on its next
+sighting and never a different result.
 """
 
 from repro.api.config import EngineConfig
@@ -82,12 +105,24 @@ from repro.api.registry import (
     register_method,
     unregister_method,
 )
+from repro.api.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    EngineSnapshotStore,
+    SnapshotError,
+    read_snapshot,
+    write_snapshot,
+)
 
 __all__ = [
     "EngineConfig",
     "CacheInfo",
     "Explanation",
     "RewriteEngine",
+    "SNAPSHOT_FORMAT_VERSION",
+    "EngineSnapshotStore",
+    "SnapshotError",
+    "read_snapshot",
+    "write_snapshot",
     "PAPER_METHODS",
     "SIMRANK_BACKENDS",
     "DuplicateMethodError",

@@ -59,6 +59,12 @@ class EngineConfig:
     bid_filtering:
         Drop rewrites outside the bid-term set when the engine is given one;
         disabling serves unfiltered rewrites even when bid terms are known.
+    cache_size:
+        Maximum number of rewrite lists the serving cache retains, with
+        least-recently-used eviction beyond it.  ``None`` (the default)
+        keeps every entry -- the paper's full-precompute deployment mode.
+        Eviction never changes served results, only the recompute cost of
+        re-seeing an evicted query; see ``CacheInfo.evictions``.
     """
 
     method: str = "weighted_simrank"
@@ -69,6 +75,7 @@ class EngineConfig:
     min_score: float = 0.0
     deduplicate: bool = True
     bid_filtering: bool = True
+    cache_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.method or not isinstance(self.method, str):
@@ -82,6 +89,11 @@ class EngineConfig:
             )
         if self.min_score < 0:
             raise ValueError(f"min_score must be >= 0, got {self.min_score}")
+        if self.cache_size is not None and self.cache_size < 1:
+            raise ValueError(
+                f"cache_size must be a positive integer or None (unbounded), "
+                f"got {self.cache_size}"
+            )
 
     # ------------------------------------------------------------- derivation
 
@@ -112,6 +124,7 @@ class EngineConfig:
             "min_score": self.min_score,
             "deduplicate": self.deduplicate,
             "bid_filtering": self.bid_filtering,
+            "cache_size": self.cache_size,
         }
 
     @classmethod

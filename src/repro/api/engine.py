@@ -14,12 +14,21 @@ Typical lifecycle::
     engine.rewrite("camera")                  # RewriteList, computed once
     engine.rewrite_batch(traffic)             # cached after first sight
     engine.explain("camera", "digital camera")  # why (not) proposed?
+
+The offline fit survives process restarts: ``engine.save(path)`` writes a
+snapshot (score store + config + bid terms, :mod:`repro.api.snapshot`) and
+``RewriteEngine.load(path)`` revives a servable engine without re-running
+the fixpoint.  The serving cache is bounded by ``EngineConfig.cache_size``
+(LRU eviction; ``None`` keeps every entry for the paper's full-precompute
+mode).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.api.config import EngineConfig
 from repro.api.registry import create
@@ -30,15 +39,23 @@ from repro.graph.click_graph import ClickGraph
 __all__ = ["CacheInfo", "Explanation", "RewriteEngine"]
 
 Node = Hashable
+PathLike = Union[str, Path]
 
 
 @dataclass(frozen=True)
 class CacheInfo:
-    """Serving-cache statistics since the last fit (or ``clear_cache``)."""
+    """Serving-cache statistics since the last fit (or ``clear_cache``).
+
+    ``capacity`` is the configured LRU bound (``None`` = unbounded) and
+    ``evictions`` counts entries dropped to respect it; eviction never
+    changes served results, only whether a re-seen query costs a recompute.
+    """
 
     hits: int
     misses: int
     size: int
+    evictions: int = 0
+    capacity: Optional[int] = None
 
     @property
     def hit_rate(self) -> float:
@@ -102,9 +119,24 @@ class RewriteEngine:
             deduplicate=self.config.deduplicate,
         )
         self._graph = graph
-        self._cache: Dict[Node, RewriteList] = {}
+        self._cache: "OrderedDict[Node, RewriteList]" = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
+        #: Snapshot-carried state (set by repro.api.snapshot.read_snapshot,
+        #: superseded by a fresh fit): the fitted graph's query set -- so
+        #: precompute() on a revived engine warms exactly what the original
+        #: fitted engine would have -- and the recorded fit iteration count.
+        self._precompute_universe: Optional[List[Node]] = None
+        self._snapshot_iterations_run: Optional[int] = None
+        self._snapshot_graph_fingerprint: Optional[Dict[str, int]] = None
+        #: Fit generation of the method at restore time; carried snapshot
+        #: state is trusted only while the method still holds that fit.
+        self._snapshot_state_generation: Optional[int] = None
+        #: The method fit generation the serving caches were built against;
+        #: an out-of-band method.fit()/restore() bumps the method's counter
+        #: and the next serve drops the stale caches (see _require_fitted).
+        self._served_generation: Optional[int] = None
 
     @classmethod
     def from_graph(
@@ -163,6 +195,12 @@ class RewriteEngine:
                 "engine with RewriteEngine.from_graph(graph, ...)"
             )
         self._rewriter.fit(self._graph)
+        # A fresh fit supersedes any snapshot-carried state.
+        self._precompute_universe = None
+        self._snapshot_iterations_run = None
+        self._snapshot_graph_fingerprint = None
+        self._snapshot_state_generation = None
+        self._served_generation = getattr(self.method, "_fit_generation", None)
         self.clear_cache()
         return self
 
@@ -171,24 +209,50 @@ class RewriteEngine:
     def rewrite(self, query: Node) -> RewriteList:
         """The filtered, ranked rewrites of one query (cached).
 
-        The cache is unbounded: one entry per distinct query seen, including
-        queries with no rewrites.  That matches the paper's offline
-        full-precompute deployment; eviction policies for long-tail online
-        traffic are a planned scaling follow-up (see ROADMAP.md).
+        With ``config.cache_size=None`` (the default) the cache is unbounded
+        -- one entry per distinct query seen, including queries with no
+        rewrites -- matching the paper's offline full-precompute deployment.
+        A positive ``cache_size`` bounds it with least-recently-used
+        eviction for long-tail online traffic; eviction only ever costs a
+        recompute on the next sighting, never a different result.
         """
         self._require_fitted()
         cached = self._cache.get(query)
         if cached is not None:
             self._hits += 1
+            if self.config.cache_size is not None:
+                # Recency only matters when eviction can happen; the
+                # unbounded hit path stays a read-only dictionary lookup.
+                self._cache.move_to_end(query)
             return cached
         self._misses += 1
-        result = self._rewriter.rewrites_for(query)
+        # The engine is the single cache layer: misses bypass the rewriter's
+        # unbounded memo, otherwise the LRU bound would not bound anything.
+        result = self._rewriter.compute_rewrites(query)
         self._cache[query] = result
+        capacity = self.config.cache_size
+        if capacity is not None and len(self._cache) > capacity:
+            self._cache.popitem(last=False)
+            self._evictions += 1
         return result
 
     def rewrite_batch(self, queries: Sequence[Node]) -> List[RewriteList]:
         """Rewrite lists for a whole traffic batch, aligned with the input."""
         return [self.rewrite(query) for query in queries]
+
+    def serving_profile(
+        self, queries: Sequence[Node]
+    ) -> List[Tuple[Node, Node, int, float]]:
+        """Flattened ``(query, rewrite, rank, score)`` rows for a batch.
+
+        The exact serving profile: two engines serve equivalently iff their
+        profiles over the same queries are equal.  The cross-backend snapshot
+        equivalence tests and ``benchmarks/bench_engine_snapshot.py`` compare
+        exactly this.
+        """
+        return [
+            row for result in self.rewrite_batch(queries) for row in result.as_tuples()
+        ]
 
     def expansions(self, query: Node, max_rewrites: Optional[int] = None) -> List[Node]:
         """Just the rewrite terms of a query, for serving-path expansion."""
@@ -198,18 +262,94 @@ class RewriteEngine:
     def precompute(self, queries: Optional[Iterable[Node]] = None) -> int:
         """Warm the serving cache offline; returns the number of new entries.
 
-        With no argument, precomputes every query of the fitted click graph --
-        the paper's full offline pass.
+        With no argument, precomputes every query of the fitted click graph
+        -- the paper's full offline pass.  On an engine revived from a
+        snapshot (no graph attached) it warms the snapshot's recorded query
+        universe -- the same set the fitted engine would have warmed -- or,
+        for snapshots without one, every query of the restored score store.
+
+        With a bounded cache, only the entries that would survive a full LRU
+        replay of the sequence are computed -- queries the replay would evict
+        on arrival are skipped outright, and already-cached survivors are
+        recency-refreshed.  The end-state cache matches the replay exactly,
+        without the compute-then-discard churn.
         """
         self._require_fitted()
         if queries is None:
-            queries = self._graph.queries() if self._graph is not None else []
+            if self._graph is not None:
+                queries = self._graph.queries()
+            elif (
+                self._precompute_universe is not None
+                and self._snapshot_state_fresh()
+            ):
+                queries = self._precompute_universe
+            else:
+                queries = self._score_store_queries()
+        capacity = self.config.cache_size
+        if capacity is not None:
+            return self._warm_bounded(queries, capacity)
         warmed = 0
         for query in queries:
             if query not in self._cache:
                 self.rewrite(query)
                 warmed += 1
         return warmed
+
+    def _warm_bounded(self, queries: Iterable[Node], capacity: int) -> int:
+        """Warm a bounded cache without computing entries that cannot survive.
+
+        A symbolic LRU replay over the current cache contents plus the
+        stream determines the end-state entries first; only those are then
+        computed (misses) or recency-refreshed (existing entries), in final
+        recency order, so the real cache finishes in exactly the state the
+        naive query-by-query replay would produce.
+        """
+        simulated: "OrderedDict[Node, None]" = OrderedDict(
+            (query, None) for query in self._cache
+        )
+        for query in queries:
+            if query in simulated:
+                simulated.move_to_end(query)
+            else:
+                simulated[query] = None
+                if len(simulated) > capacity:
+                    simulated.popitem(last=False)
+        # Drop the entries the replay evicts *before* warming: otherwise an
+        # insertion mid-loop could push out a not-yet-refreshed survivor and
+        # force the recompute this path exists to avoid.
+        for query in [query for query in self._cache if query not in simulated]:
+            del self._cache[query]
+            self._evictions += 1
+        warmed = 0
+        for query in simulated:
+            if query in self._cache:
+                self._cache.move_to_end(query)
+            else:
+                self.rewrite(query)
+                warmed += 1
+        return warmed
+
+    def _snapshot_state_fresh(self) -> bool:
+        """Whether snapshot-carried metadata still describes the held fit.
+
+        An out-of-band ``method.fit()``/``method.restore()`` bumps the
+        method's fit generation past the one recorded at load time, at which
+        point the carried universe/fingerprint/iteration metadata describe a
+        different fit and must be ignored.
+        """
+        return (
+            self._snapshot_state_generation is not None
+            and self._snapshot_state_generation
+            == getattr(self.method, "_fit_generation", None)
+        )
+
+    def _score_store_queries(self) -> List[Node]:
+        """Every query the fitted score store knows about (snapshot serving)."""
+        scores = self.method.similarities()
+        index = getattr(scores, "index", None)
+        if index is not None:
+            return list(index)
+        return list(scores.nodes())
 
     # ----------------------------------------------------------- explanation
 
@@ -247,15 +387,52 @@ class RewriteEngine:
     # ------------------------------------------------------------ cache admin
 
     def cache_info(self) -> CacheInfo:
-        """Hit/miss counters and current size of the serving cache."""
-        return CacheInfo(hits=self._hits, misses=self._misses, size=len(self._cache))
+        """Hit/miss/eviction counters and current size of the serving cache."""
+        return CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            size=len(self._cache),
+            evictions=self._evictions,
+            capacity=self.config.cache_size,
+        )
 
     def clear_cache(self) -> None:
-        """Drop all cached rewrite lists and reset the hit/miss counters."""
+        """Drop all cached rewrite lists and reset every cache counter."""
         self._cache.clear()
         self._rewriter.clear_cache()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------ persistence
+
+    def save(self, path: PathLike) -> Path:
+        """Write the fitted engine as a snapshot directory; returns its path.
+
+        The snapshot (see :mod:`repro.api.snapshot`) holds the similarity
+        score store, the :class:`EngineConfig`, the bid terms and fit
+        metadata -- everything :meth:`load` needs to serve identical rewrite
+        lists without re-running the SimRank fixpoint.  The click graph
+        itself is *not* included (persist it with
+        :class:`~repro.graph.storage.ClickGraphStore` if refitting later
+        matters).
+        """
+        from repro.api.snapshot import write_snapshot
+
+        return write_snapshot(self, path)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "RewriteEngine":
+        """Revive a servable engine from a :meth:`save` snapshot, without refitting.
+
+        The restored engine serves identical rewrite lists to the engine
+        that was saved; it carries no click graph, so :meth:`fit` requires
+        an explicit graph and :meth:`precompute` warms the snapshot's query
+        universe.
+        """
+        from repro.api.snapshot import read_snapshot
+
+        return read_snapshot(path, engine_cls=cls)
 
     # ------------------------------------------------------------------ misc
 
@@ -265,6 +442,13 @@ class RewriteEngine:
                 "RewriteEngine has not been fitted; call .fit(graph) "
                 "(or .from_graph(graph, ...).fit()) before serving"
             )
+        # Out-of-band method.fit()/method.restore() (not via this engine)
+        # bumps the method's fit generation; serving stale cached rewrite
+        # lists next to the new scores would silently mix two fits.
+        generation = getattr(self.method, "_fit_generation", None)
+        if generation != self._served_generation:
+            self.clear_cache()
+            self._served_generation = generation
 
     def __repr__(self) -> str:
         state = "fitted" if self.is_fitted else "unfitted"

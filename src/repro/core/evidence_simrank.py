@@ -75,22 +75,38 @@ class EvidenceSimrank(QuerySimilarityMethod):
 
     # ---------------------------------------------------------------- access
 
+    def restore(self, scores, graph=None) -> "EvidenceSimrank":
+        """Adopt precomputed query scores; sub-result and traces are fit-only."""
+        super().restore(scores, graph)
+        self._simrank = None
+        self._ad_scores = None
+        self._query_history = []
+        return self
+
     @property
     def simrank_result(self) -> SimrankResult:
         """The underlying plain-SimRank result (before evidence scaling)."""
         self._require_fitted()
-        return self._simrank.result
+        return self._require_fit_extra(
+            self._simrank, "plain-SimRank sub-result"
+        ).result
 
     @property
     def query_history(self) -> List[SimilarityScores]:
         """Per-iteration evidence-based query scores (Table 4)."""
         self._require_fitted()
+        # The inner SimRank marks genuine fit state: on a snapshot-restored
+        # engine an empty list would be indistinguishable from tracking
+        # having been off, so fail loudly instead.
+        self._require_fit_extra(self._simrank, "iteration history")
         return list(self._query_history)
 
     def ad_similarity(self, first: Node, second: Node) -> float:
         """Evidence-based similarity of two ads."""
         self._require_fitted()
-        return self._ad_scores.score(first, second)
+        return self._require_fit_extra(self._ad_scores, "ad-side scores").score(
+            first, second
+        )
 
     # ------------------------------------------------------------- internals
 

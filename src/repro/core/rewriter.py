@@ -61,6 +61,18 @@ class RewriteList:
     def candidates(self) -> List[Node]:
         return [rewrite.rewrite for rewrite in self.rewrites]
 
+    def as_tuples(self) -> List[Tuple[Node, Node, int, float]]:
+        """``(query, rewrite, rank, score)`` rows -- the exact serving profile.
+
+        This is the single definition of serving equivalence used by the
+        cross-backend tests and the snapshot benchmark gate: two engines
+        serve equivalently iff their batches flatten to equal tuple lists.
+        """
+        return [
+            (self.query, rewrite.rewrite, rewrite.rank, rewrite.score)
+            for rewrite in self.rewrites
+        ]
+
 
 @dataclass(frozen=True)
 class CandidateDecision:
@@ -161,8 +173,20 @@ class QueryRewriter:
         cached = self._cache.get(query)
         if cached is not None:
             return cached
-        result, _ = self._generate(query, collect_decisions=False)
+        result = self.compute_rewrites(query)
         self._cache[query] = result
+        return result
+
+    def compute_rewrites(self, query: Node) -> RewriteList:
+        """The surviving rewrites of one query, computed afresh (never memoized).
+
+        :class:`~repro.api.engine.RewriteEngine` owns a bounded LRU serving
+        cache and must remain the *only* cache layer -- a second unbounded
+        memo here would defeat the bound -- so the engine serves its misses
+        through this entry point, while :meth:`rewrites_for` keeps memoizing
+        for direct rewriter users (``coverage`` / ``depth_histogram``).
+        """
+        result, _ = self._generate(query, collect_decisions=False)
         return result
 
     def explain_candidates(self, query: Node) -> List[CandidateDecision]:

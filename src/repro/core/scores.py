@@ -93,6 +93,48 @@ class SimilarityScores:
         """Number of stored pairs with a non-zero score."""
         return sum(1 for _, _, value in self.pairs() if value != 0.0)
 
+    # ------------------------------------------------------------- conversion
+
+    def to_array(self) -> "ArraySimilarityScores":
+        """The same scores as an array-backed store (CSR matrix + node index).
+
+        This is how dict-backed results enter the engine-snapshot format
+        (:mod:`repro.api.snapshot`): the matrix carries the exact float
+        values in both directions, so serving reads off the converted store
+        are identical to reads off this one.
+        """
+        from scipy import sparse
+
+        from repro.core.scores_array import ArraySimilarityScores
+
+        index = sorted(self._by_node, key=repr)
+        position = {node: i for i, node in enumerate(index)}
+        rows: List[int] = []
+        columns: List[int] = []
+        data: List[float] = []
+        for first, second, value in self.pairs():
+            i, j = position[first], position[second]
+            rows.extend((i, j))
+            columns.extend((j, i))
+            data.extend((value, value))
+        matrix = sparse.csr_matrix(
+            (data, (rows, columns)), shape=(len(index), len(index))
+        )
+        return ArraySimilarityScores(matrix, index)
+
+    @classmethod
+    def from_array(cls, scores: "ArraySimilarityScores") -> "SimilarityScores":
+        """Dict-backed copy of an array-backed store (snapshot loading).
+
+        Pairs explicitly stored as zero do not survive the round trip (the
+        array store eliminates them at construction); every reader treats
+        missing and zero pairs identically, so no observable score changes.
+        """
+        clone = cls()
+        for first, second, value in scores.pairs():
+            clone.set(first, second, value)
+        return clone
+
     # ------------------------------------------------------------------ misc
 
     def max_difference(self, other: "SimilarityScores") -> float:

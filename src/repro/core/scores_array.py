@@ -36,6 +36,11 @@ class ArraySimilarityScores:
     :meth:`from_dense` / :meth:`from_sparse` constructors, which enforce both
     by mirroring the strict upper triangle (entries must exceed ``min_score``
     to be stored, matching the dense engine's storage threshold).
+
+    A CSR input is adopted and normalized *in place* (indices sorted,
+    explicit zeros eliminated); pass ``matrix.copy()`` when holding an alias
+    whose entry layout must not change.  Other formats are converted, which
+    already copies.
     """
 
     def __init__(self, matrix: sparse.csr_matrix, index: Sequence[Node]) -> None:
@@ -44,6 +49,11 @@ class ArraySimilarityScores:
             raise ValueError(
                 f"matrix shape {matrix.shape} does not match index of {len(index)} nodes"
             )
+        # Explicitly-stored zeros mean nothing to any reader (score() reports
+        # missing pairs as 0 anyway), so dropping them once here keeps every
+        # count -- len, nonzero_count, pairs() -- a pure nnz read instead of
+        # a per-pair Python scan.
+        matrix.eliminate_zeros()
         matrix.sort_indices()
         self._matrix = matrix
         self._index: List[Node] = list(index)
@@ -182,8 +192,13 @@ class ArraySimilarityScores:
         return (self._index[i] for i in np.nonzero(row_counts)[0].tolist())
 
     def nonzero_count(self) -> int:
-        """Number of stored pairs with a non-zero score."""
-        return sum(1 for _, _, value in self.pairs() if value != 0.0)
+        """Number of stored pairs with a non-zero score.
+
+        Explicit zeros are eliminated at construction, so every stored entry
+        is non-zero and the count equals the stored pair count -- no per-pair
+        Python boxing.
+        """
+        return len(self)
 
     # ------------------------------------------------------------------ misc
 

@@ -29,6 +29,9 @@ class QuerySimilarityMethod(abc.ABC):
     def __init__(self) -> None:
         self._graph: Optional[ClickGraph] = None
         self._query_scores: Optional[SimilarityScores] = None
+        #: Bumped by every fit() and restore(); serving layers compare it to
+        #: detect an out-of-band refit/restore and drop their caches.
+        self._fit_generation = 0
 
     # ------------------------------------------------------------------- fit
 
@@ -36,11 +39,30 @@ class QuerySimilarityMethod(abc.ABC):
         """Analyse the click graph and cache query-query similarity scores."""
         self._graph = graph
         self._query_scores = self._compute_query_scores(graph)
+        self._fit_generation += 1
         return self
 
     @abc.abstractmethod
     def _compute_query_scores(self, graph: ClickGraph) -> SimilarityScores:
         """Compute the pairwise query similarity scores for ``graph``."""
+
+    def restore(
+        self, scores: SimilarityScores, graph: Optional[ClickGraph] = None
+    ) -> "QuerySimilarityMethod":
+        """Adopt precomputed query scores as the fitted state, skipping the fit.
+
+        This is the snapshot-loading path (:mod:`repro.api.snapshot`): the
+        score store written by a previous :meth:`fit` is plugged back in, and
+        every serving read -- :meth:`query_similarity`, :meth:`top_rewrites`,
+        :meth:`covers` -- behaves exactly as if that fit had just returned.
+        Backend-specific extras that do not feed query serving (ad-side
+        scores, shard introspection, per-iteration histories) are *not*
+        restored and keep their unfitted defaults.
+        """
+        self._graph = graph
+        self._query_scores = scores
+        self._fit_generation += 1
+        return self
 
     # ---------------------------------------------------------------- access
 
@@ -87,6 +109,22 @@ class QuerySimilarityMethod(abc.ABC):
             raise RuntimeError(
                 f"{type(self).__name__} has not been fitted; call .fit(graph) first"
             )
+
+    def _require_fit_extra(self, value, what: str):
+        """Guard for state that :meth:`fit` computes but :meth:`restore` cannot.
+
+        Engine snapshots persist only the query-side scores, so on a restored
+        method the backend extras (ad-side scores, iteration traces) are
+        absent; accessing them must fail with this clear message rather than
+        an ``AttributeError`` on ``None``.
+        """
+        if value is None:
+            raise RuntimeError(
+                f"{type(self).__name__} has no {what}: it is computed by "
+                "fit() and not part of an engine snapshot -- refit on a "
+                "click graph to recompute it"
+            )
+        return value
 
     def __repr__(self) -> str:
         state = "fitted" if self.is_fitted else "unfitted"

@@ -73,16 +73,24 @@ class BipartiteSimrank(QuerySimilarityMethod):
         self._result = self._run(graph)
         return self._result.query_scores
 
+    def restore(self, scores, graph=None) -> "BipartiteSimrank":
+        """Adopt precomputed query scores; the full result object is fit-only."""
+        super().restore(scores, graph)
+        self._result = None
+        return self
+
     @property
     def result(self) -> SimrankResult:
         """Full result (both sides and the iteration trace)."""
         self._require_fitted()
-        return self._result
+        return self._require_fit_extra(self._result, "SimrankResult")
 
     def ad_similarity(self, first: Node, second: Node) -> float:
         """Similarity of two ads under the same fixpoint."""
         self._require_fitted()
-        return self._result.ad_scores.score(first, second)
+        return self._require_fit_extra(self._result, "ad-side scores").ad_scores.score(
+            first, second
+        )
 
     # ------------------------------------------------------------- iteration
 

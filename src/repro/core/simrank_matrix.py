@@ -141,9 +141,25 @@ class MatrixSimrank(QuerySimilarityMethod):
 
     # ---------------------------------------------------------------- access
 
+    def restore(self, scores, graph=None) -> "MatrixSimrank":
+        """Adopt precomputed query scores; matrices and indexes are fit-only.
+
+        Clearing them keeps a re-restored instance honest: the ad-side
+        accessors fail loudly instead of serving a previous fit's values
+        alongside the adopted query scores.
+        """
+        super().restore(scores, graph)
+        self.iterations_run = None
+        self._query_index = []
+        self._ad_index = []
+        self._query_matrix = None
+        self._ad_matrix = None
+        return self
+
     def ad_similarity(self, first: Node, second: Node) -> float:
         """Similarity of two ads under the same fixpoint."""
         self._require_fitted()
+        self._require_fit_extra(self._ad_matrix, "ad-side scores")
         if first == second:
             return 1.0
         try:
@@ -160,7 +176,8 @@ class MatrixSimrank(QuerySimilarityMethod):
         queries never enter the iteration (they can only self-score).
         """
         self._require_fitted()
-        return self._query_matrix, list(self._query_index)
+        matrix = self._require_fit_extra(self._query_matrix, "raw query matrix")
+        return matrix, list(self._query_index)
 
     # ------------------------------------------------------------- internals
 

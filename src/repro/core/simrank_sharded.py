@@ -161,33 +161,50 @@ class ShardedSimrank(QuerySimilarityMethod):
 
     # ---------------------------------------------------------------- access
 
+    def restore(self, scores, graph=None) -> "ShardedSimrank":
+        """Adopt precomputed query scores; the shard decomposition is fit-only.
+
+        Snapshots persist the stitched query scores, not the per-component
+        structure, so the shard accessors of a restored engine raise a clear
+        error instead of reporting an empty (zero-shard) decomposition.
+        """
+        super().restore(scores, graph)
+        self._shard_graphs = None
+        self._shard_methods = None
+        self._query_shard = None
+        self._ad_shard = None
+        return self
+
     @property
     def num_shards(self) -> int:
         """Number of connected components that carried at least one edge."""
         self._require_fitted()
-        return len(self._shard_graphs)
+        return len(self._require_fit_extra(self._shard_graphs, "shard decomposition"))
 
     def shard_graphs(self) -> List[ClickGraph]:
         """The induced component subgraphs, largest first."""
         self._require_fitted()
-        return list(self._shard_graphs)
+        return list(self._require_fit_extra(self._shard_graphs, "shard decomposition"))
 
     def shard_sizes(self) -> List[int]:
         """Node count per shard, largest first (Table 5-style reporting)."""
         self._require_fitted()
-        return [subgraph.num_nodes for subgraph in self._shard_graphs]
+        shard_graphs = self._require_fit_extra(self._shard_graphs, "shard decomposition")
+        return [subgraph.num_nodes for subgraph in shard_graphs]
 
     def shard_of(self, query: Node) -> Optional[int]:
         """Index of the shard containing a query (None for unknown/isolated)."""
         self._require_fitted()
-        return self._query_shard.get(query)
+        query_shard = self._require_fit_extra(self._query_shard, "shard decomposition")
+        return query_shard.get(query)
 
     def ad_similarity(self, first: Node, second: Node) -> float:
         """Similarity of two ads under the same per-component fixpoints."""
         self._require_fitted()
+        ad_shard = self._require_fit_extra(self._ad_shard, "ad-side scores")
         if first == second:
             return 1.0
-        shard = self._ad_shard.get(first)
-        if shard is None or shard != self._ad_shard.get(second):
+        shard = ad_shard.get(first)
+        if shard is None or shard != ad_shard.get(second):
             return 0.0
         return self._shard_methods[shard].ad_similarity(first, second)

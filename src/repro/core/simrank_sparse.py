@@ -182,10 +182,27 @@ class SparseSimrank(QuerySimilarityMethod):
 
     # ---------------------------------------------------------------- access
 
+    def restore(self, scores, graph=None) -> "SparseSimrank":
+        """Adopt precomputed query scores; matrices and indexes are fit-only.
+
+        Clearing them keeps a re-restored instance honest: the ad-side
+        accessors fail loudly instead of serving a previous fit's values
+        alongside the adopted query scores.
+        """
+        super().restore(scores, graph)
+        self.iterations_run = None
+        self._query_index = []
+        self._ad_index = []
+        self._query_matrix = None
+        self._ad_scores = None
+        return self
+
     def ad_similarity(self, first: Node, second: Node) -> float:
         """Similarity of two ads under the same fixpoint."""
         self._require_fitted()
-        return self._ad_scores.score(first, second)
+        return self._require_fit_extra(self._ad_scores, "ad-side scores").score(
+            first, second
+        )
 
     def query_matrix(self) -> Tuple[sparse.csr_matrix, List[Node]]:
         """The raw sparse query-query similarity matrix and its index.
@@ -194,7 +211,8 @@ class SparseSimrank(QuerySimilarityMethod):
         (isolated queries simply own an empty row).
         """
         self._require_fitted()
-        return self._query_matrix, list(self._query_index)
+        matrix = self._require_fit_extra(self._query_matrix, "raw query matrix")
+        return matrix, list(self._query_index)
 
 
 # ---------------------------------------------------------------- internals

@@ -138,21 +138,31 @@ class WeightedSimrank(QuerySimilarityMethod):
         self._result = self._run(graph)
         return self._result.query_scores
 
+    def restore(self, scores, graph=None) -> "WeightedSimrank":
+        """Adopt precomputed query scores; the full result object is fit-only."""
+        super().restore(scores, graph)
+        self._result = None
+        return self
+
     @property
     def result(self) -> WeightedSimrankResult:
         self._require_fitted()
-        return self._result
+        return self._require_fit_extra(self._result, "WeightedSimrankResult")
 
     @property
     def query_history(self) -> List[SimilarityScores]:
         """Per-iteration query scores (only when history tracking is on)."""
         self._require_fitted()
-        return list(self._result.query_history)
+        return list(
+            self._require_fit_extra(self._result, "iteration history").query_history
+        )
 
     def ad_similarity(self, first: Node, second: Node) -> float:
         """Weighted similarity of two ads."""
         self._require_fitted()
-        return self._result.ad_scores.score(first, second)
+        return self._require_fit_extra(self._result, "ad-side scores").ad_scores.score(
+            first, second
+        )
 
     # ------------------------------------------------------------- iteration
 

@@ -27,11 +27,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from pathlib import Path
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.api.config import EngineConfig
 from repro.api.engine import RewriteEngine
 from repro.api.registry import PAPER_METHODS, create
+from repro.api.snapshot import EngineSnapshotStore, SnapshotError, graph_fingerprint
 from repro.core.config import SimrankConfig
 from repro.core.rewriter import RewriteList
 from repro.eval.coverage import coverage_percentage, depth_distribution
@@ -141,6 +143,8 @@ class ExperimentHarness:
         desirability_cases: int = 50,
         desirability_radius: int = 6,
         seed: int = 29,
+        save_engines_to: Optional[Union[str, Path]] = None,
+        load_engines_from: Optional[Union[str, Path]] = None,
     ) -> None:
         self.workload = workload or yahoo_like_workload(workload_size)
         # A small zero-evidence floor keeps the evidence-carrying variants
@@ -159,6 +163,14 @@ class ExperimentHarness:
         self.desirability_cases = desirability_cases
         self.desirability_radius = desirability_radius
         self.seed = seed
+        #: Offline -> online split: when ``save_engines_to`` is set every
+        #: fitted engine is snapshotted there (named ``<method>-<backend>``),
+        #: and when ``load_engines_from`` is set existing snapshots are
+        #: served from instead of refitting.  Snapshots are keyed by method
+        #: and backend only -- the caller owns invalidation (delete the
+        #: directory when the workload, config or seed changes).
+        self.save_engines_to = save_engines_to
+        self.load_engines_from = load_engines_from
 
     # ------------------------------------------------------------------- run
 
@@ -172,7 +184,7 @@ class ExperimentHarness:
 
         rewrites_per_method: Dict[str, Dict[Node, RewriteList]] = {}
         for method_name in self.methods:
-            engine = self._build_engine(method_name).fit(dataset)
+            engine = self._fitted_engine(method_name, dataset)
             rewrites_per_method[method_name] = {
                 query: rewrite_list
                 for query, rewrite_list in zip(
@@ -249,16 +261,82 @@ class ExperimentHarness:
 
     # ------------------------------------------------------------ evaluation
 
-    def _build_engine(self, method_name: str) -> RewriteEngine:
-        engine_config = EngineConfig(
+    def _fitted_engine(self, method_name: str, dataset: ClickGraph) -> RewriteEngine:
+        """A servable engine for one method: loaded from a snapshot, or fitted.
+
+        With ``load_engines_from`` set and a ``<method>-<backend>`` snapshot
+        present, the engine is revived without refitting -- but only when the
+        snapshot's persisted configuration and bid terms match what this run
+        would fit with; a mismatched snapshot (say, a different prune
+        threshold) is ignored rather than silently serving stale knobs.
+        Otherwise the method is fitted on ``dataset`` (and snapshotted when
+        ``save_engines_to`` is set).  Dataset staleness remains caller-owned:
+        delete the snapshot directory when the workload or seed changes.
+        """
+        name = f"{method_name}-{self.backend}"
+        if self.load_engines_from is not None:
+            store = EngineSnapshotStore(self.load_engines_from)
+            if name in store and self._snapshot_matches(
+                store, name, method_name, dataset
+            ):
+                try:
+                    return store.load(name)
+                except SnapshotError:
+                    pass  # damaged snapshot: fall through to a fresh fit
+        engine = self._build_engine(method_name).fit(dataset)
+        if self.save_engines_to is not None:
+            EngineSnapshotStore(self.save_engines_to).save(name, engine)
+        return engine
+
+    def _snapshot_matches(
+        self,
+        store: EngineSnapshotStore,
+        name: str,
+        method_name: str,
+        dataset: ClickGraph,
+    ) -> bool:
+        """Cheap manifest-only check that a snapshot fits this run.
+
+        Reads only the small JSON manifest -- the score matrix is loaded
+        only once the snapshot is known to match.  Besides the engine config
+        and bid terms, the snapshot's recorded graph fingerprint must match
+        the dataset this run would fit on, so changed dataset-shaping knobs
+        (``num_subgraphs``, ``use_partitioning``, workload, seed) do not
+        silently revive an engine fitted on a different graph.
+        """
+        try:
+            manifest = store.manifest(name)
+            persisted_config = EngineConfig.from_dict(manifest["engine_config"])
+            bid_terms = manifest.get("bid_terms")
+            persisted_bid_terms = (
+                frozenset(bid_terms) if bid_terms is not None else None
+            )
+            fingerprint = (manifest.get("fit") or {}).get("graph")
+        except (SnapshotError, KeyError, TypeError, ValueError):
+            # Unreadable or wrong-shape manifest: treat as mismatched.
+            return False
+        return (
+            persisted_config == self._engine_config(method_name)
+            and persisted_bid_terms == self._bid_terms()
+            and fingerprint == graph_fingerprint(dataset)
+        )
+
+    def _engine_config(self, method_name: str) -> EngineConfig:
+        return EngineConfig(
             method=method_name,
             backend=self.backend,
             similarity=self.config,
             max_rewrites=self.max_rewrites,
             candidate_pool=self.candidate_pool,
         )
-        bid_terms = {str(term) for term in self.workload.bid_terms}
-        return RewriteEngine(engine_config, bid_terms=bid_terms)
+
+    def _bid_terms(self) -> frozenset:
+        return frozenset(str(term) for term in self.workload.bid_terms)
+
+    def _build_engine(self, method_name: str) -> RewriteEngine:
+        return RewriteEngine(
+            self._engine_config(method_name), bid_terms=self._bid_terms()
+        )
 
     def _pooled_relevant(
         self,

@@ -8,6 +8,8 @@ Examples::
     simrankpp-experiments --experiment figure8 --backend reference
     simrankpp-experiments --experiment figure8 --backend sharded
     simrankpp-experiments --experiment figure8 --backend sparse --prune-threshold 1e-4
+    simrankpp-experiments --experiment figure8 --save-engine engines/
+    simrankpp-experiments --experiment figure8 --load-engine engines/
     simrankpp-experiments --list-methods
 """
 
@@ -74,6 +76,26 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--save-engine",
+        metavar="DIR",
+        default=None,
+        help=(
+            "write every fitted engine as a named snapshot under DIR "
+            "(<method>-<backend>); the offline half of the paper's "
+            "offline-compute / online-serve split"
+        ),
+    )
+    parser.add_argument(
+        "--load-engine",
+        metavar="DIR",
+        default=None,
+        help=(
+            "serve from engine snapshots under DIR instead of refitting "
+            "(methods without a snapshot are fitted as usual); snapshots are "
+            "keyed by method and backend, so reuse the same workload flags"
+        ),
+    )
+    parser.add_argument(
         "--list-methods",
         action="store_true",
         help="list the registered similarity methods and exit",
@@ -109,6 +131,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         desirability_cases=args.desirability_cases,
         seed=args.seed,
         backend=args.backend,
+        save_engines_to=args.save_engine,
+        load_engines_from=args.load_engine,
     )
     if args.experiment == "all":
         output = experiments.render_all()

@@ -222,6 +222,11 @@ class PaperExperiments:
     desirability_cases: int = 50
     seed: int = 29
     backend: str = "matrix"
+    #: Engine-snapshot directories (offline -> online split): fitted engines
+    #: are saved under ``save_engines_to`` and revived from
+    #: ``load_engines_from`` instead of refitting; see ExperimentHarness.
+    save_engines_to: Optional[str] = None
+    load_engines_from: Optional[str] = None
     _result: Optional[EvaluationResult] = None
 
     def harness_result(self) -> EvaluationResult:
@@ -233,6 +238,8 @@ class PaperExperiments:
                 desirability_cases=self.desirability_cases,
                 seed=self.seed,
                 backend=self.backend,
+                save_engines_to=self.save_engines_to,
+                load_engines_from=self.load_engines_from,
             )
             self._result = harness.run()
         return self._result

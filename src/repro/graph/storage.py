@@ -10,8 +10,9 @@ database so experiments can be re-run without regenerating the workload.
 from __future__ import annotations
 
 import sqlite3
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterable, List, Optional, Set, Union
+from typing import Iterable, Iterator, List, Optional, Set, Union
 
 from repro.graph.click_graph import ClickGraph, EdgeStats
 
@@ -71,34 +72,66 @@ class ClickGraphStore:
     def __exit__(self, exc_type, exc, traceback) -> None:
         self.close()
 
+    @contextmanager
+    def _transaction(self) -> Iterator[sqlite3.Cursor]:
+        """All-or-nothing statement scope: commit on success, roll back on error.
+
+        Without this, a failure between a ``DELETE`` and its replacing
+        inserts leaves the delete pending on the connection, and any later
+        unrelated ``commit`` silently persists the half-applied write.
+        """
+        cursor = self._connection.cursor()
+        try:
+            yield cursor
+        except BaseException:
+            self._connection.rollback()
+            raise
+        else:
+            self._connection.commit()
+
     # ---------------------------------------------------------------- graphs
 
     def save_graph(self, name: str, graph: ClickGraph, replace: bool = True) -> int:
         """Persist a graph under ``name``; returns the number of edges stored.
 
-        Node identifiers are stored as text.  With ``replace=False`` saving
-        over an existing name raises ``ValueError``.
+        Node identifiers must be ``str``: SQLite stores them as text, so any
+        other type would come back as ``str`` after a round trip and then
+        silently miss every lookup against the original identifiers
+        (``engine.rewrite(42)`` on a reloaded graph would never match the
+        stored ``"42"``).  Non-string nodes raise ``TypeError`` before
+        anything is written.  With ``replace=False`` saving over an existing
+        name raises ``ValueError``.  The delete + insert pair runs in one
+        transaction: a failed save leaves the previously stored graph intact.
         """
-        cursor = self._connection.cursor()
-        exists = cursor.execute(
+        exists = self._connection.execute(
             "SELECT 1 FROM graphs WHERE name = ?", (name,)
         ).fetchone()
         if exists and not replace:
+            # Fail before touching graph.edges(): no row building, no writes.
             raise ValueError(f"graph {name!r} already exists")
-        if exists:
-            cursor.execute("DELETE FROM edges WHERE graph_name = ?", (name,))
-        else:
-            cursor.execute("INSERT INTO graphs (name) VALUES (?)", (name,))
-        rows = [
-            (name, str(query), str(ad), stats.impressions, stats.clicks, stats.expected_click_rate)
-            for query, ad, stats in graph.edges()
-        ]
-        cursor.executemany(
-            "INSERT INTO edges (graph_name, query, ad, impressions, clicks, expected_click_rate)"
-            " VALUES (?, ?, ?, ?, ?, ?)",
-            rows,
-        )
-        self._connection.commit()
+        rows = []
+        for query, ad, stats in graph.edges():
+            if not isinstance(query, str) or not isinstance(ad, str):
+                offender = query if not isinstance(query, str) else ad
+                raise TypeError(
+                    f"ClickGraphStore stores node ids as text; node {offender!r} "
+                    f"({type(offender).__name__}) would come back as str after a "
+                    "round trip and no longer match similarity lookups -- convert "
+                    "node ids to str before saving"
+                )
+            rows.append(
+                (name, query, ad, stats.impressions, stats.clicks, stats.expected_click_rate)
+            )
+        with self._transaction() as cursor:
+            if exists:
+                cursor.execute("DELETE FROM edges WHERE graph_name = ?", (name,))
+            else:
+                cursor.execute("INSERT INTO graphs (name) VALUES (?)", (name,))
+            cursor.executemany(
+                "INSERT INTO edges (graph_name, query, ad, impressions, clicks, expected_click_rate)"
+                " VALUES (?, ?, ?, ?, ?, ?)",
+                rows,
+            )
         return len(rows)
 
     def load_graph(self, name: str) -> ClickGraph:
@@ -127,10 +160,9 @@ class ClickGraphStore:
 
     def delete_graph(self, name: str) -> None:
         """Remove a stored graph (no-op when absent)."""
-        cursor = self._connection.cursor()
-        cursor.execute("DELETE FROM edges WHERE graph_name = ?", (name,))
-        cursor.execute("DELETE FROM graphs WHERE name = ?", (name,))
-        self._connection.commit()
+        with self._transaction() as cursor:
+            cursor.execute("DELETE FROM edges WHERE graph_name = ?", (name,))
+            cursor.execute("DELETE FROM graphs WHERE name = ?", (name,))
 
     def list_graphs(self) -> List[str]:
         """Names of all stored graphs."""
@@ -148,16 +180,32 @@ class ClickGraphStore:
     # ------------------------------------------------------------- bid terms
 
     def save_bid_terms(self, list_name: str, queries: Iterable[str], replace: bool = True) -> int:
-        """Persist the set of queries that received bids during the period."""
-        cursor = self._connection.cursor()
-        if replace:
-            cursor.execute("DELETE FROM bid_terms WHERE list_name = ?", (list_name,))
-        rows = [(list_name, str(query)) for query in set(queries)]
-        cursor.executemany(
-            "INSERT OR IGNORE INTO bid_terms (list_name, query) VALUES (?, ?)", rows
-        )
-        self._connection.commit()
-        return len(rows)
+        """Persist the set of queries that received bids during the period.
+
+        Returns the number of rows actually inserted: with ``replace=False``,
+        queries already stored under ``list_name`` are left in place by the
+        ``INSERT OR IGNORE`` and do not count.  Like :meth:`save_graph`,
+        non-``str`` queries raise ``TypeError`` -- a silently stringified
+        term would come back as ``str`` and stop matching its node.
+        """
+        unique = set(queries)
+        for query in unique:
+            if not isinstance(query, str):
+                raise TypeError(
+                    f"bid terms are stored as text; term {query!r} "
+                    f"({type(query).__name__}) would come back as str after a "
+                    "round trip -- convert bid terms to str before saving"
+                )
+        rows = [(list_name, query) for query in unique]
+        with self._transaction() as cursor:
+            if replace:
+                cursor.execute("DELETE FROM bid_terms WHERE list_name = ?", (list_name,))
+            before = self._connection.total_changes
+            cursor.executemany(
+                "INSERT OR IGNORE INTO bid_terms (list_name, query) VALUES (?, ?)", rows
+            )
+            inserted = self._connection.total_changes - before
+        return inserted
 
     def load_bid_terms(self, list_name: str) -> Set[str]:
         """Load a bid-term list (empty set when the list is unknown)."""

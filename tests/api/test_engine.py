@@ -79,6 +79,27 @@ class TestLifecycle:
             r.rewrite for r in engine._rewriter.rewrites_for("camera").rewrites
         ]
 
+    def test_out_of_band_restore_invalidates_serving_caches(
+        self, small_weighted_graph
+    ):
+        """Swapping the method's scores via restore() must not serve a stale
+        cache built on the old fit (silently mixing two fits)."""
+        engine = RewriteEngine.from_graph(
+            small_weighted_graph, EngineConfig(method="simrank")
+        ).fit()
+        before = [r.rewrite for r in engine.rewrite("camera").rewrites]
+        assert "digital camera" in before
+
+        rewired = small_weighted_graph.copy()
+        for ad in list(rewired.ads_of("digital camera")):
+            rewired.remove_edge("digital camera", ad)
+        other = RewriteEngine.from_graph(
+            rewired, EngineConfig(method="simrank")
+        ).fit()
+        engine.method.restore(other.method.similarities())
+        after = [r.rewrite for r in engine.rewrite("camera").rewrites]
+        assert "digital camera" not in after
+
     def test_unknown_method_fails_at_construction(self):
         with pytest.raises(ValueError):
             RewriteEngine(EngineConfig(method="not-a-method"))
@@ -128,6 +149,135 @@ class TestServingCache:
         expansions = engine.expansions("camera", max_rewrites=2)
         assert len(expansions) <= 2
         assert all(term != "camera" for term in expansions)
+
+
+class TestBoundedCache:
+    """LRU serving cache: bookkeeping, eviction order, result equivalence."""
+
+    def build(self, graph, cache_size):
+        return RewriteEngine.from_graph(
+            graph,
+            EngineConfig(method="weighted_simrank", cache_size=cache_size),
+        ).fit()
+
+    def test_cache_info_reports_capacity_and_evictions(self, small_weighted_graph):
+        engine = self.build(small_weighted_graph, cache_size=2)
+        info = engine.cache_info()
+        assert (info.capacity, info.evictions) == (2, 0)
+        engine.rewrite_batch(["camera", "pc", "flower"])
+        info = engine.cache_info()
+        assert info.misses == 3
+        assert info.size == 2  # bounded
+        assert info.evictions == 1
+
+    def test_eviction_is_least_recently_used(self, small_weighted_graph):
+        engine = self.build(small_weighted_graph, cache_size=2)
+        engine.rewrite("camera")
+        engine.rewrite("pc")
+        engine.rewrite("camera")  # refresh camera: pc is now the LRU entry
+        engine.rewrite("flower")  # evicts pc, not camera
+        calls = counting_top_rewrites(engine)
+        engine.rewrite("camera")
+        assert calls["count"] == 0  # still cached
+        engine.rewrite("pc")
+        assert calls["count"] == 1  # evicted, recomputed
+
+    def test_evicted_queries_are_recomputed_identically(self, small_weighted_graph):
+        """The tentpole invariant: eviction never changes served results."""
+        bounded = self.build(small_weighted_graph, cache_size=1)
+        unbounded = self.build(small_weighted_graph, cache_size=None)
+        stream = ["camera", "pc", "camera", "flower", "pc", "camera", "flower"]
+        bounded_lists = bounded.rewrite_batch(stream)
+        unbounded_lists = unbounded.rewrite_batch(stream)
+        for bounded_result, unbounded_result in zip(bounded_lists, unbounded_lists):
+            assert bounded_result.as_tuples() == unbounded_result.as_tuples()
+        assert bounded.cache_info().evictions > 0  # the bound actually engaged
+
+    def test_full_lifecycle_bookkeeping(self, small_weighted_graph):
+        """cache_info across precompute -> rewrite_batch -> clear_cache."""
+        engine = self.build(small_weighted_graph, cache_size=None)
+        num_queries = len(list(small_weighted_graph.queries()))
+        assert engine.precompute() == num_queries
+        info = engine.cache_info()
+        assert (info.misses, info.size, info.evictions) == (num_queries, num_queries, 0)
+        engine.rewrite_batch(["camera", "pc", "camera"])
+        info = engine.cache_info()
+        assert info.hits == 3
+        assert info.misses == num_queries
+        engine.clear_cache()
+        info = engine.cache_info()
+        assert (info.hits, info.misses, info.size, info.evictions) == (0, 0, 0, 0)
+        assert info.capacity is None
+
+    def test_precompute_beyond_capacity_computes_only_survivors(
+        self, small_weighted_graph
+    ):
+        """Cold bounded warm-up skips the queries that would be evicted on
+        arrival; the end-state cache is the same as a naive full replay."""
+        engine = self.build(small_weighted_graph, cache_size=3)
+        stream = sorted(str(q) for q in small_weighted_graph.queries())
+        warmed = engine.precompute(stream)
+        info = engine.cache_info()
+        assert warmed == 3  # only the surviving tail was computed
+        assert info.size == 3
+        assert info.evictions == 0  # no compute-then-discard churn
+        calls = counting_top_rewrites(engine)
+        engine.rewrite_batch(stream[-3:])  # the tail is cached...
+        assert calls["count"] == 0
+        engine.rewrite(stream[0])  # ...earlier queries were never computed
+        assert calls["count"] == 1
+
+    def test_warm_bounded_precompute_never_recomputes_survivors(
+        self, small_weighted_graph
+    ):
+        """A cached entry that survives the replay is refreshed in place --
+        never evicted mid-warm-up by a new insertion and recomputed."""
+        engine = self.build(small_weighted_graph, cache_size=3)
+        engine.rewrite_batch(["camera", "pc", "flower"])
+        calls = counting_top_rewrites(engine)
+        # Replay of [camera, pc, flower] + [laptop, camera]: laptop and the
+        # re-seen camera push out camera-then-pc, leaving {flower, laptop,
+        # camera} -- camera and flower were already cached and stay so.
+        warmed = engine.precompute(["laptop", "camera"])
+        assert warmed == 1  # only laptop is new
+        assert calls["count"] == 1  # survivors were not recomputed
+        info = engine.cache_info()
+        assert info.size == 3
+        assert info.evictions == 1  # pc fell out of the replay
+
+    def test_precompute_on_a_warm_bounded_cache_respects_recency(
+        self, small_weighted_graph
+    ):
+        """A query re-seen during the warm-up is refreshed, not evicted --
+        the same LRU replay semantics the serving path implements."""
+        engine = self.build(small_weighted_graph, cache_size=2)
+        engine.rewrite("camera")
+        warmed = engine.precompute(["pc", "camera", "flower"])
+        # Replay of [camera] + [pc, camera, flower]: pc arrives, camera is
+        # refreshed, flower evicts pc -> survivors are camera and flower.
+        assert warmed == 1  # only flower is computed; pc is never materialized
+        calls = counting_top_rewrites(engine)
+        engine.rewrite("camera")
+        engine.rewrite("flower")
+        assert calls["count"] == 0  # both survived the warm-up
+        engine.rewrite("pc")
+        assert calls["count"] == 1  # evicted-on-arrival, never computed
+
+    def test_unbounded_cache_never_evicts(self, small_weighted_graph):
+        engine = self.build(small_weighted_graph, cache_size=None)
+        engine.precompute()
+        engine.rewrite_batch(sorted(str(q) for q in small_weighted_graph.queries()))
+        assert engine.cache_info().evictions == 0
+
+    @pytest.mark.parametrize("cache_size", [0, -1])
+    def test_invalid_cache_size_rejected(self, cache_size):
+        with pytest.raises(ValueError):
+            EngineConfig(cache_size=cache_size)
+
+    def test_cache_size_round_trips_through_to_dict(self):
+        config = EngineConfig(cache_size=128)
+        assert EngineConfig.from_dict(config.to_dict()) == config
+        assert EngineConfig.from_dict(EngineConfig().to_dict()).cache_size is None
 
 
 class TestExplain:

@@ -152,3 +152,65 @@ class TestConstruction:
 
     def test_stitched_of_nothing_is_empty(self):
         assert len(ArraySimilarityScores.stitched([])) == 0
+
+
+def explicit_zero_matrix():
+    """A symmetric CSR matrix storing one real pair and one *explicit* zero."""
+    rows = [0, 1, 0, 2]
+    columns = [1, 0, 2, 0]
+    data = [0.5, 0.5, 0.0, 0.0]
+    return sparse.csr_matrix((data, (rows, columns)), shape=(3, 3))
+
+
+class TestExplicitZeros:
+    """Regression: nonzero_count boxed every pair through a Python loop.
+
+    Explicit zeros are now eliminated once at construction, so every count
+    (``len``, ``nonzero_count``) is a pure ``nnz`` read -- including through
+    the ``stitched`` and ``copy`` paths, which construct new stores.
+    """
+
+    def test_constructor_eliminates_explicit_zeros(self):
+        store = ArraySimilarityScores(explicit_zero_matrix(), ["a", "b", "c"])
+        assert store.nonzero_count() == 1
+        assert len(store) == 1
+        assert list(store.pairs()) == [("a", "b", 0.5)]
+        assert store.score("a", "c") == 0.0
+
+    def test_stitched_drops_explicit_zeros(self):
+        first = ArraySimilarityScores(explicit_zero_matrix(), ["a", "b", "c"])
+        second = make_store({("d", "e"): 0.3}, ["d", "e"])
+        combined = ArraySimilarityScores.stitched([first, second])
+        assert combined.nonzero_count() == 2
+        assert len(combined) == 2
+
+    def test_copy_preserves_counts(self):
+        store = ArraySimilarityScores(explicit_zero_matrix(), ["a", "b", "c"])
+        clone = store.copy()
+        assert clone.nonzero_count() == store.nonzero_count() == 1
+        assert clone.max_difference(store) == 0.0
+
+    def test_nonzero_count_matches_dict_store_semantics(self, store, dict_store):
+        assert store.nonzero_count() == dict_store.nonzero_count()
+
+
+class TestDictArrayConversion:
+    """SimilarityScores.to_array / from_array (the snapshot bridge)."""
+
+    def test_to_array_preserves_every_read(self, dict_store):
+        array = dict_store.to_array()
+        assert array.max_difference(dict_store) == 0.0
+        assert array.top("q", k=3) == dict_store.top("q", k=3)
+        assert array.nonzero_count() == dict_store.nonzero_count()
+        assert sorted(array.nodes(), key=repr) == sorted(dict_store.nodes(), key=repr)
+
+    def test_round_trip_is_lossless(self, dict_store):
+        round_tripped = SimilarityScores.from_array(dict_store.to_array())
+        assert round_tripped.max_difference(dict_store) == 0.0
+        assert len(round_tripped) == len(dict_store)
+        assert round_tripped.neighbors("q") == dict_store.neighbors("q")
+
+    def test_empty_conversion(self):
+        array = SimilarityScores().to_array()
+        assert len(array) == 0
+        assert len(SimilarityScores.from_array(array)) == 0

@@ -122,6 +122,107 @@ class TestHarnessOptions:
         result = harness.run()
         assert set(result.methods) == {"simrank", "weighted_simrank"}
 
+    def test_engine_snapshots_round_trip_through_the_pipeline(
+        self, tiny_workload, tmp_path
+    ):
+        """save_engines_to then load_engines_from reproduces the same rewrites."""
+        kwargs = dict(
+            workload=tiny_workload,
+            methods=["simrank", "weighted_simrank"],
+            config=SimrankConfig(iterations=3, zero_evidence_floor=0.05),
+            desirability_cases=0,
+            max_evaluation_queries=10,
+            traffic_sample_size=100,
+        )
+        snapshot_dir = tmp_path / "engines"
+        saved = ExperimentHarness(save_engines_to=snapshot_dir, **kwargs).run()
+        from repro.api.snapshot import EngineSnapshotStore
+
+        store = EngineSnapshotStore(snapshot_dir)
+        assert store.list_snapshots() == ["simrank-matrix", "weighted_simrank-matrix"]
+
+        loaded = ExperimentHarness(load_engines_from=snapshot_dir, **kwargs).run()
+        for method_name in kwargs["methods"]:
+            saved_lists = saved.methods[method_name].rewrite_lists
+            loaded_lists = loaded.methods[method_name].rewrite_lists
+            assert set(saved_lists) == set(loaded_lists)
+            for query, rewrite_list in saved_lists.items():
+                assert rewrite_list.as_tuples() == loaded_lists[query].as_tuples()
+
+    def test_mismatched_snapshots_are_ignored_not_served(self, tiny_workload, tmp_path):
+        """A snapshot saved under different similarity knobs must not be revived."""
+        snapshot_dir = tmp_path / "engines"
+        kwargs = dict(
+            workload=tiny_workload,
+            methods=["weighted_simrank"],
+            desirability_cases=0,
+            max_evaluation_queries=10,
+            traffic_sample_size=100,
+        )
+        ExperimentHarness(
+            config=SimrankConfig(iterations=3, zero_evidence_floor=0.05),
+            save_engines_to=snapshot_dir,
+            **kwargs,
+        ).run()
+        changed = ExperimentHarness(
+            config=SimrankConfig(iterations=5, zero_evidence_floor=0.05),
+            load_engines_from=snapshot_dir,
+            **kwargs,
+        )
+        engine = changed._fitted_engine(
+            "weighted_simrank", changed._combine(changed.build_subgraphs())
+        )
+        # The stale 3-iteration snapshot was skipped: the engine really ran
+        # the requested 5 iterations (a revived engine would report 3).
+        assert engine.config.similarity.iterations == 5
+        assert engine.method.iterations_run == 5
+        assert engine.graph is not None  # fitted fresh, not snapshot-revived
+
+    def test_snapshots_for_a_different_dataset_are_ignored(
+        self, tiny_workload, tmp_path
+    ):
+        """Changed dataset-shaping knobs must not revive a stale engine."""
+        snapshot_dir = tmp_path / "engines"
+        kwargs = dict(
+            workload=tiny_workload,
+            methods=["weighted_simrank"],
+            config=SimrankConfig(iterations=3, zero_evidence_floor=0.05),
+            desirability_cases=0,
+            max_evaluation_queries=10,
+            traffic_sample_size=100,
+        )
+        ExperimentHarness(
+            use_partitioning=True, save_engines_to=snapshot_dir, **kwargs
+        ).run()
+        reshaped = ExperimentHarness(
+            use_partitioning=False, load_engines_from=snapshot_dir, **kwargs
+        )
+        dataset = reshaped._combine(reshaped.build_subgraphs())
+        engine = reshaped._fitted_engine("weighted_simrank", dataset)
+        assert engine.graph is dataset  # fitted fresh on the unpartitioned dataset
+
+    def test_damaged_snapshots_fall_back_to_fitting(self, tiny_workload, tmp_path):
+        """A matching-but-corrupt snapshot must not abort the run."""
+        snapshot_dir = tmp_path / "engines"
+        kwargs = dict(
+            workload=tiny_workload,
+            methods=["weighted_simrank"],
+            config=SimrankConfig(iterations=3, zero_evidence_floor=0.05),
+            desirability_cases=0,
+            max_evaluation_queries=10,
+            traffic_sample_size=100,
+        )
+        ExperimentHarness(save_engines_to=snapshot_dir, **kwargs).run()
+        # Damage the score matrix but keep the (matching) manifest intact.
+        (snapshot_dir / "weighted_simrank-matrix" / "query_scores.npz").write_bytes(
+            b"damaged"
+        )
+        harness = ExperimentHarness(load_engines_from=snapshot_dir, **kwargs)
+        engine = harness._fitted_engine(
+            "weighted_simrank", harness._combine(harness.build_subgraphs())
+        )
+        assert engine.graph is not None  # fitted fresh instead of crashing
+
     def test_sharded_backend_runs_the_full_pipeline(self, tiny_workload):
         """--backend sharded works end-to-end, matching the matrix coverage."""
         kwargs = dict(

@@ -102,3 +102,21 @@ class TestCli:
         assert exit_code == 0
         output = capsys.readouterr().out
         assert "coverage" in output.lower()
+
+    def test_save_engine_then_load_engine_round_trip(self, capsys, tmp_path):
+        """--save-engine persists fitted engines; --load-engine serves from them."""
+        from repro.api.snapshot import EngineSnapshotStore
+
+        snapshot_dir = str(tmp_path / "engines")
+        base = ["--experiment", "figure8", "--size", "tiny", "--desirability-cases", "0"]
+        assert main(base + ["--save-engine", snapshot_dir]) == 0
+        saved_output = capsys.readouterr().out
+        store = EngineSnapshotStore(snapshot_dir)
+        assert store.list_snapshots() == [
+            "evidence_simrank-matrix",
+            "pearson-matrix",
+            "simrank-matrix",
+            "weighted_simrank-matrix",
+        ]
+        assert main(base + ["--load-engine", snapshot_dir]) == 0
+        assert capsys.readouterr().out == saved_output

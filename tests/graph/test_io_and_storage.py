@@ -1,8 +1,11 @@
 """Round-trip tests for TSV / JSONL files and the SQLite store."""
 
+import sqlite3
+
 import pytest
 
-from repro.graph.click_graph import ClickGraph
+from repro.core.simrank_matrix import MatrixSimrank
+from repro.graph.click_graph import ClickGraph, EdgeStats
 from repro.graph.io import read_edges_jsonl, read_edges_tsv, write_edges_jsonl, write_edges_tsv
 from repro.graph.storage import ClickGraphStore
 
@@ -87,3 +90,78 @@ class TestClickGraphStore:
             store.save_graph("sample", fig3_graph)
             neighbors = store.query_neighbors("sample", "camera")
         assert set(neighbors) == {"hp.com", "bestbuy.com"}
+
+    def test_save_bid_terms_counts_only_actual_inserts(self):
+        """Regression: INSERT OR IGNORE used to report *attempted* rows."""
+        with ClickGraphStore() as store:
+            assert store.save_bid_terms("period-1", ["camera", "pc"]) == 2
+            # Appending with one overlap: only the new query counts.
+            assert (
+                store.save_bid_terms("period-1", ["camera", "tv"], replace=False) == 1
+            )
+            assert store.load_bid_terms("period-1") == {"camera", "pc", "tv"}
+            # Re-saving an identical list without replace inserts nothing.
+            assert (
+                store.save_bid_terms("period-1", ["camera", "pc", "tv"], replace=False)
+                == 0
+            )
+            # replace=True rewrites the list, so every row is an insert again.
+            assert store.save_bid_terms("period-1", ["camera"]) == 1
+
+    def test_save_bid_terms_rejects_non_str_terms(self):
+        with ClickGraphStore() as store:
+            with pytest.raises(TypeError):
+                store.save_bid_terms("period", ["camera", 42])
+            assert store.load_bid_terms("period") == set()  # nothing written
+
+    def test_save_graph_rejects_non_str_nodes(self, fig3_graph):
+        """Regression: int node ids used to come back as str after a round trip."""
+        graph = ClickGraph()
+        graph.add_edge(42, "ad", impressions=10, clicks=2)
+        with ClickGraphStore() as store:
+            with pytest.raises(TypeError):
+                store.save_graph("typed", graph)
+            assert store.list_graphs() == []  # nothing half-written
+
+    def test_round_trip_preserves_similarity_scores(self, small_weighted_graph):
+        """save -> load -> fit produces the same scores as the original graph."""
+        with ClickGraphStore() as store:
+            store.save_graph("g", small_weighted_graph)
+            reloaded = store.load_graph("g")
+        assert reloaded == small_weighted_graph
+        original = MatrixSimrank(mode="weighted").fit(small_weighted_graph)
+        round_tripped = MatrixSimrank(mode="weighted").fit(reloaded)
+        assert (
+            original.similarities().max_difference(round_tripped.similarities()) == 0.0
+        )
+
+    def test_failed_save_graph_rolls_back(self, fig3_graph):
+        """Regression: a failed replace save must not leave a pending DELETE.
+
+        Before the explicit transaction, the DELETE of the old edges stayed
+        uncommitted after an insert error, and any later unrelated commit
+        silently persisted it -- wiping the previously stored graph.
+        """
+
+        class _Unbindable:
+            """A stats object sqlite3 cannot bind (fails mid-executemany)."""
+
+            impressions = object()
+            clicks = 1
+            expected_click_rate = 0.1
+
+        class _PoisonGraph:
+            def edges(self):
+                yield "q-ok", "a-ok", EdgeStats(
+                    impressions=10, clicks=2, expected_click_rate=0.1
+                )
+                yield "q-bad", "a-bad", _Unbindable()
+
+        with ClickGraphStore() as store:
+            store.save_graph("g", fig3_graph)
+            with pytest.raises((sqlite3.InterfaceError, sqlite3.ProgrammingError)):
+                store.save_graph("g", _PoisonGraph(), replace=True)
+            # An unrelated write that commits must not flush the dead DELETE.
+            store.save_bid_terms("other", ["camera"])
+            assert store.edge_count("g") == fig3_graph.num_edges
+            assert store.load_graph("g") == fig3_graph
