@@ -41,12 +41,24 @@ the fixpoint (identical rewrite lists -- the CI-gated claim of
 bounded with ``EngineConfig(cache_size=N)`` (LRU eviction, counted in
 ``cache_info().evictions``; ``None`` keeps every entry for the paper's
 full-precompute mode).
+
+Incremental refresh
+-------------------
+
+When the click graph moves under a fitted engine (new queries, shifting
+click counts), ``engine.refresh(delta)`` brings it forward without a cold
+refit: record the changes with :class:`~repro.graph.delta.DeltaBuilder` (or
+diff two graphs with ``ClickGraphDelta.between``), and the engine applies
+them, refits warm-started from its current scores -- the sharded backend
+refits only the touched components -- and invalidates only the cached
+rewrite lists that could have changed (the CI-gated claim of
+``benchmarks/bench_engine_refresh.py``).
 """
 
 import tempfile
 from pathlib import Path
 
-from repro import ClickGraph, EngineConfig, RewriteEngine, SimrankConfig
+from repro import ClickGraph, DeltaBuilder, EngineConfig, RewriteEngine, SimrankConfig
 from repro.api.registry import PAPER_METHODS
 from repro.eval.reporting import format_table
 
@@ -166,6 +178,40 @@ def main() -> None:
     print(
         f"bounded serving cache (capacity {info.capacity}): {info.size} entries, "
         f"{info.evictions} eviction(s), hit rate {info.hit_rate:.0%}"
+    )
+
+    # Incremental refresh: the click graph moves (a camera ad gets hot, a
+    # stale flower edge ages out), and the fitted engine follows without a
+    # cold refit.  Tolerance-based early exit is what lets the warm-started
+    # fixpoint stop after a couple of iterations.
+    live = RewriteEngine.from_graph(
+        graph.copy(),
+        config.replace(
+            backend="sharded",
+            similarity=SimrankConfig(
+                iterations=60, tolerance=1e-8, zero_evidence_floor=0.1
+            ),
+        ),
+        bid_terms=bid_terms,
+    ).fit()
+    live.precompute()
+    delta = (
+        DeltaBuilder(live.graph)
+        .set_edge("camera", "bestbuy.com/cameras", impressions=1400, clicks=300)
+        .remove_edge("flower", "orchids.com")
+        .build()
+    )
+    live.refresh(delta)
+    refresh = live.last_refresh
+    print()
+    print(
+        f"refresh({delta!r}): {live.method.reused_shards} shards reused, "
+        f"{live.method.refitted_shards} refit; {refresh.invalidated_entries} of "
+        f"{refresh.affected_queries} affected cache entries invalidated"
+    )
+    print(
+        f"rewrite('camera') after refresh -> "
+        f"{[r.rewrite for r in live.rewrite('camera').rewrites]}"
     )
 
 

@@ -63,7 +63,14 @@ from repro.core import (
     create_method,
 )
 from repro.eval import EditorialJudge, ExperimentHarness
-from repro.graph import ClickGraph, ClickGraphStore, EdgeStats, WeightSource
+from repro.graph import (
+    ClickGraph,
+    ClickGraphDelta,
+    ClickGraphStore,
+    DeltaBuilder,
+    EdgeStats,
+    WeightSource,
+)
 from repro.synth import generate_workload, yahoo_like_workload
 
 __version__ = "1.1.0"
@@ -89,7 +96,9 @@ __all__ = [
     "EditorialJudge",
     "ExperimentHarness",
     "ClickGraph",
+    "ClickGraphDelta",
     "ClickGraphStore",
+    "DeltaBuilder",
     "EdgeStats",
     "WeightSource",
     "generate_workload",

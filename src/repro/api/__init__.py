@@ -80,6 +80,24 @@ under one directory, the eval harness and ``simrankpp-experiments``
 ``benchmarks/bench_engine_snapshot.py`` gates snapshot loading at >= 20x
 faster than refitting.
 
+Incremental refresh
+-------------------
+
+Production click graphs change continuously; a full refit per change is the
+cold path.  ``engine.refresh(delta)`` takes a
+:class:`~repro.graph.delta.ClickGraphDelta` (captured with
+``ClickGraphDelta.between(old, new)`` or recorded with
+:class:`~repro.graph.delta.DeltaBuilder`), applies it to the bound graph,
+refits warm-started from the current scores -- the sharded backend refits
+*only* the components an edge change touched and reuses the rest verbatim
+-- and invalidates only the cached rewrite lists whose results could have
+changed.  Snapshots double as warm-start seeds:
+:func:`~repro.api.snapshot.warm_start_from_snapshot` (or
+``RewriteEngine.load(path).fit(graph, warm_start=True)``) refits a revived
+engine on a moved graph in a handful of iterations.
+``benchmarks/bench_engine_refresh.py`` gates refresh at >= 5x faster than
+a cold refit on a delta touching <= 10% of components.
+
 Online serving no longer requires an unbounded cache:
 ``EngineConfig(cache_size=N)`` bounds the serving cache to ``N`` rewrite
 lists with least-recently-used eviction (``None``, the default, keeps every
@@ -89,7 +107,7 @@ sighting and never a different result.
 """
 
 from repro.api.config import EngineConfig
-from repro.api.engine import CacheInfo, Explanation, RewriteEngine
+from repro.api.engine import CacheInfo, Explanation, RefreshInfo, RewriteEngine
 from repro.api.registry import (
     PAPER_METHODS,
     SIMRANK_BACKENDS,
@@ -110,6 +128,7 @@ from repro.api.snapshot import (
     EngineSnapshotStore,
     SnapshotError,
     read_snapshot,
+    warm_start_from_snapshot,
     write_snapshot,
 )
 
@@ -117,11 +136,13 @@ __all__ = [
     "EngineConfig",
     "CacheInfo",
     "Explanation",
+    "RefreshInfo",
     "RewriteEngine",
     "SNAPSHOT_FORMAT_VERSION",
     "EngineSnapshotStore",
     "SnapshotError",
     "read_snapshot",
+    "warm_start_from_snapshot",
     "write_snapshot",
     "PAPER_METHODS",
     "SIMRANK_BACKENDS",

@@ -91,7 +91,7 @@ class EngineConfig:
             raise ValueError(f"min_score must be >= 0, got {self.min_score}")
         if self.cache_size is not None and self.cache_size < 1:
             raise ValueError(
-                f"cache_size must be a positive integer or None (unbounded), "
+                "cache_size must be a positive integer or None (unbounded), "
                 f"got {self.cache_size}"
             )
 

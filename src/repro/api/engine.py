@@ -21,6 +21,12 @@ snapshot (score store + config + bid terms, :mod:`repro.api.snapshot`) and
 the fixpoint.  The serving cache is bounded by ``EngineConfig.cache_size``
 (LRU eviction; ``None`` keeps every entry for the paper's full-precompute
 mode).
+
+The fit also survives *graph change*: ``engine.refresh(delta)`` applies a
+:class:`~repro.graph.delta.ClickGraphDelta` to the bound graph, refits
+warm-started from the current scores and invalidates only the cache
+entries whose rewrites could differ -- the incremental path for click
+graphs that shift continuously under serving traffic.
 """
 
 from __future__ import annotations
@@ -35,8 +41,10 @@ from repro.api.registry import create
 from repro.core.rewriter import CandidateDecision, QueryRewriter, RewriteList
 from repro.core.similarity_base import QuerySimilarityMethod
 from repro.graph.click_graph import ClickGraph
+from repro.graph.components import reachable_queries
+from repro.graph.delta import ClickGraphDelta
 
-__all__ = ["CacheInfo", "Explanation", "RewriteEngine"]
+__all__ = ["CacheInfo", "Explanation", "RefreshInfo", "RewriteEngine"]
 
 Node = Hashable
 PathLike = Union[str, Path]
@@ -61,6 +69,30 @@ class CacheInfo:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class RefreshInfo:
+    """What one :meth:`RewriteEngine.refresh` call did.
+
+    ``affected_queries`` counts the queries whose rewrites could have
+    changed (every query connected to a changed edge, in the graph state
+    before or after the delta); ``invalidated_entries`` of those were
+    actually cached and got dropped.  Invalidations are not evictions --
+    ``CacheInfo.evictions`` still counts only capacity-driven drops.  A
+    no-op (empty) delta skips the refit entirely: ``refit`` is False and
+    every cached entry survives.  ``warm_started`` reports whether the
+    refit was seeded with the previous scores; it is False when
+    ``SimrankConfig.tolerance`` is 0, where the fixpoint is defined as
+    exactly ``iterations`` steps from the identity and a seeded
+    continuation would compute a different (further-converged) result.
+    """
+
+    changes: int
+    affected_queries: int
+    invalidated_entries: int
+    refit: bool
+    warm_started: bool = False
 
 
 @dataclass(frozen=True)
@@ -119,6 +151,8 @@ class RewriteEngine:
             deduplicate=self.config.deduplicate,
         )
         self._graph = graph
+        #: What the most recent refresh(delta) call did (None before any).
+        self.last_refresh: Optional[RefreshInfo] = None
         self._cache: "OrderedDict[Node, RewriteList]" = OrderedDict()
         self._hits = 0
         self._misses = 0
@@ -181,12 +215,42 @@ class RewriteEngine:
     def is_fitted(self) -> bool:
         return self.method.is_fitted
 
-    def fit(self, graph: Optional[ClickGraph] = None) -> "RewriteEngine":
+    def fit(
+        self, graph: Optional[ClickGraph] = None, warm_start: bool = False
+    ) -> "RewriteEngine":
         """Run the offline analytics step: fit the similarity method.
 
         Fits on ``graph`` when given, otherwise on the graph bound by
         :meth:`from_graph`.  Clears the serving cache.
+
+        With ``warm_start=True`` the method's current query scores -- a
+        previous fit's, or the store a snapshot :meth:`load` restored --
+        seed the fixpoint iteration instead of the identity start, so a fit
+        on a mildly changed graph converges in far fewer iterations (pair
+        it with a positive ``SimrankConfig.tolerance``; see
+        :meth:`~repro.core.similarity_base.QuerySimilarityMethod.fit`).
+        This is how a snapshot doubles as a warm-start seed::
+
+            engine = RewriteEngine.load("engines/two-week-weighted")
+            engine.fit(todays_graph, warm_start=True)   # cheap refit
         """
+        # Validate before rebinding self._graph: a rejected warm start must
+        # not leave engine.graph pointing at a graph the held scores (and a
+        # later save()'s recorded fingerprint) were never fitted on.
+        if warm_start:
+            if not self.method.is_fitted:
+                raise RuntimeError(
+                    "fit(warm_start=True) needs previous scores to seed from; "
+                    "fit cold first or load a snapshot"
+                )
+            if not self._warm_start_sound():
+                raise RuntimeError(
+                    "fit(warm_start=True) needs SimrankConfig.tolerance > 0: "
+                    "with tolerance 0 the result is defined as exactly "
+                    "`iterations` steps from the identity, and continuing "
+                    "from a seed would compute a different (further-"
+                    "converged) result -- set a tolerance or fit cold"
+                )
         if graph is not None:
             self._graph = graph
         if self._graph is None:
@@ -194,15 +258,126 @@ class RewriteEngine:
                 "no click graph to fit on; pass one to fit() or build the "
                 "engine with RewriteEngine.from_graph(graph, ...)"
             )
-        self._rewriter.fit(self._graph)
-        # A fresh fit supersedes any snapshot-carried state.
+        if warm_start:
+            self.method.fit(self._graph, initial_scores=self.method.similarities())
+        else:
+            # Cold path stays positional so method subclasses written
+            # against the pre-warm-start fit(graph) signature keep working.
+            self.method.fit(self._graph)
+        self._mark_fresh_fit()
+        self.clear_cache()
+        return self
+
+    def refresh(self, delta: ClickGraphDelta) -> "RewriteEngine":
+        """Bring a fitted engine forward over a click-graph delta.
+
+        Applies the delta to the bound graph, refits the similarity method
+        warm-started from the current scores (the sharded backend
+        additionally reuses every untouched component verbatim -- see
+        :class:`~repro.core.simrank_sharded.ShardedSimrank`), and drops only
+        the cached rewrite lists whose results could have changed: the
+        queries connected to a changed edge, before or after the delta.
+        SimRank-family scores never cross component boundaries, so every
+        other cached entry still serves correct rewrites.  (With the
+        matrix/sparse backends the surviving entries' *scores* may differ
+        from a fresh recompute by up to the convergence tolerance; the
+        sharded backend reuses untouched components' scores verbatim.)
+
+        Warm-start seeding requires tolerance-based early exit.  With
+        ``SimrankConfig.tolerance == 0`` the method's result is *defined*
+        as exactly ``iterations`` Jacobi steps from the identity, and
+        continuing from a seed would silently compute a further-converged,
+        different result -- so the refit is cold instead.  Selective cache
+        invalidation stays exact there: the iteration never mixes
+        components, so a cold refit reproduces untouched components'
+        scores bit-identically.
+
+        An empty delta is a true no-op: no refit, every cache entry kept.
+        What happened is recorded in :attr:`last_refresh`.  Raises
+        ``RuntimeError`` on an unfitted engine or one revived from a
+        snapshot (which carries no graph to apply the delta to -- use
+        ``fit(graph, warm_start=True)`` there instead).  If the refit
+        itself fails, the delta is rolled back before the error propagates,
+        so the engine keeps serving its consistent pre-refresh state and
+        the same refresh can be retried.
+        """
+        self._require_fitted()
+        if self._graph is None:
+            raise RuntimeError(
+                "refresh() needs the fitted click graph, and engines revived "
+                "from a snapshot carry none; call fit(graph, warm_start=True) "
+                "with the updated graph instead"
+            )
+        if delta.is_empty:
+            self.last_refresh = RefreshInfo(
+                changes=0,
+                affected_queries=0,
+                invalidated_entries=0,
+                refit=False,
+                warm_started=False,
+            )
+            return self
+        touched_queries = delta.touched_queries()
+        touched_ads = delta.touched_ads()
+        # Queries whose scores could change: everything connected to a
+        # touched node in the *old* graph (a removal may split a component;
+        # the split-off remainder changes too) union the *new* graph (an
+        # addition may merge previously untouched components in).
+        affected = reachable_queries(self._graph, touched_queries, touched_ads)
+        inverse = delta.inverted(self._graph)  # rollback, captured pre-apply
+        self._graph.apply_delta(delta)
+        if delta.added or delta.removed:
+            # Only topology changes can alter reachability; for the common
+            # stats-only delta the post-apply components are the pre-apply
+            # ones and the second traversal would re-walk them for nothing.
+            affected |= reachable_queries(self._graph, touched_queries, touched_ads)
+        affected |= touched_queries  # endpoints left isolated on either side
+        warm = self._warm_start_sound()
+        try:
+            if warm:
+                self.method.fit(
+                    self._graph, initial_scores=self.method.similarities()
+                )
+            else:
+                self.method.fit(self._graph)
+        except BaseException:
+            # A failed refit must not leave the engine half-refreshed: the
+            # scores, cache and last_refresh are still pre-delta, so put the
+            # graph back to match and let the caller see the error.
+            self._graph.apply_delta(inverse)
+            raise
+        self._rewriter.clear_cache()
+        self._mark_fresh_fit()
+        invalidated = 0
+        for query in [query for query in self._cache if query in affected]:
+            del self._cache[query]
+            invalidated += 1
+        self.last_refresh = RefreshInfo(
+            changes=len(delta),
+            affected_queries=len(affected),
+            invalidated_entries=invalidated,
+            refit=True,
+            warm_started=warm,
+        )
+        return self
+
+    def _warm_start_sound(self) -> bool:
+        """Whether seeding the refit preserves the method's result definition.
+
+        Only with tolerance-based early exit does a warm start converge to
+        the same answer as a cold fit; at ``tolerance == 0`` the result is
+        the fixed iteration count from the identity, which a seed would
+        silently overshoot.
+        """
+        return self.config.similarity.tolerance > 0
+
+    def _mark_fresh_fit(self) -> None:
+        """Reset per-fit bookkeeping: a fresh fit supersedes snapshot state."""
         self._precompute_universe = None
         self._snapshot_iterations_run = None
         self._snapshot_graph_fingerprint = None
         self._snapshot_state_generation = None
         self._served_generation = getattr(self.method, "_fit_generation", None)
-        self.clear_cache()
-        return self
 
     # --------------------------------------------------------------- serving
 

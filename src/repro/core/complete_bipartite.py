@@ -21,7 +21,6 @@ Tables 3 and 4.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Tuple
 
 from repro.core.config import EvidenceKind

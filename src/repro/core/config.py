@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.graph.click_graph import WeightSource
 

@@ -10,7 +10,6 @@ iteration count is small.
 
 from __future__ import annotations
 
-import math
 from typing import List, Sequence
 
 from repro.core.scores import SimilarityScores

@@ -16,7 +16,7 @@ This module provides that extension:
 
 from __future__ import annotations
 
-from typing import Hashable, Optional
+from typing import Hashable
 
 from repro.core.scores import SimilarityScores
 from repro.core.similarity_base import QuerySimilarityMethod
@@ -88,8 +88,16 @@ class HybridSimilarity(QuerySimilarityMethod):
         self._text = TextSimilarity()
 
     def _compute_query_scores(self, graph: ClickGraph) -> SimilarityScores:
-        if not self.graph_method.is_fitted or self.graph_method.graph is not graph:
-            self.graph_method.fit(graph)
+        # Always refit the inner method.  It used to be skipped when
+        # `graph_method.graph is graph`, but graphs are mutated *in place*
+        # by RewriteEngine.refresh (and may be by callers), and an identity
+        # check cannot see that -- the method holds the very object that
+        # changed -- so the shortcut served stale pre-mutation scores.  The
+        # call stays positional: the inner method may be any
+        # QuerySimilarityMethod, including ones with the pre-warm-start
+        # fit(graph) signature, and the hybrid's blended seed would be a
+        # poor inner seed anyway.
+        self.graph_method.fit(graph)
         self._text.fit(graph)
         graph_scores = self.graph_method.similarities()
         text_scores = self._text.similarities()

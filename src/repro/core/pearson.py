@@ -19,7 +19,7 @@ score lies in ``[-1, 1]``; only positive scores are useful as rewrites.
 from __future__ import annotations
 
 import math
-from typing import Hashable, Optional
+from typing import Hashable
 
 from repro.core.scores import SimilarityScores
 from repro.core.similarity_base import QuerySimilarityMethod

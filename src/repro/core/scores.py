@@ -9,7 +9,7 @@ stored; missing pairs score 0.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Hashable, Iterable, Iterator, List, Tuple
+from typing import Dict, Hashable, Iterator, List, Tuple
 
 __all__ = ["SimilarityScores"]
 

@@ -96,6 +96,12 @@ class ShardedSimrank(QuerySimilarityMethod):
             "evidence": "evidence_simrank",
             "weighted": "weighted_simrank",
         }[mode]
+        #: Whether the last fit received a warm-start seed.
+        self.warm_started: bool = False
+        #: Shards of the last fit reused verbatim from the previous fit
+        #: (dirty-component detection) and shards actually refit.
+        self.reused_shards: Optional[int] = None
+        self.refitted_shards: Optional[int] = None
         self._shard_graphs: List[ClickGraph] = []
         self._shard_methods: List[QuerySimilarityMethod] = []
         self._query_shard: Dict[Node, int] = {}
@@ -104,21 +110,59 @@ class ShardedSimrank(QuerySimilarityMethod):
     # -------------------------------------------------------------- fit path
 
     def _compute_query_scores(self, graph: ClickGraph) -> ArraySimilarityScores:
-        self._shard_graphs = []
-        self._shard_methods = []
+        seed = self._warm_start_scores
+        self.warm_started = seed is not None
+        previous_graphs = self._shard_graphs or []
+        previous_methods = self._shard_methods or []
+        previous_query_shard = self._query_shard or {}
+        previous_ad_shard = self._ad_shard or {}
+
+        components = [
+            (queries, ads)
+            for queries, ads in connected_components(graph)
+            # A component missing one side is a single isolated node: it has
+            # no edges, so every score involving it is 0 (or the implicit 1
+            # of the self-pair).  Skip it.
+            if queries and ads
+        ]
+
+        # Dirty-component detection: on a warm-start fit, a component whose
+        # node set and adjacency are identical to one of the previous fit's
+        # shards is *clean* -- no edge in it changed, so its fixpoint is
+        # exactly the previous one and both the fitted inner engine and the
+        # induced subgraph are reused verbatim (no rebuild, no refit).  The
+        # check reads per-node adjacency straight off the full graph, so
+        # clean components cost O(component edges), not an O(all edges)
+        # subgraph construction.  Only dirty components (changed, merged,
+        # split or new) are refit, each warm-started from the seed scores.
+        shard_graphs: List[Optional[ClickGraph]] = [None] * len(components)
+        methods: List[Optional[QuerySimilarityMethod]] = [None] * len(components)
+        if seed is not None and previous_methods:
+            for shard_id, (queries, ads) in enumerate(components):
+                previous_id = _single_previous_shard(
+                    queries, ads, previous_query_shard, previous_ad_shard
+                )
+                if previous_id is not None and _component_unchanged(
+                    graph, queries, ads, previous_graphs[previous_id]
+                ):
+                    shard_graphs[shard_id] = previous_graphs[previous_id]
+                    methods[shard_id] = previous_methods[previous_id]
+
+        dirty = [shard_id for shard_id, method in enumerate(methods) if method is None]
+        for shard_id in dirty:
+            queries, ads = components[shard_id]
+            shard_graphs[shard_id] = graph.subgraph(queries=queries, ads=ads)
+        self.reused_shards = len(components) - len(dirty)
+        self.refitted_shards = len(dirty)
+        dirty_graphs = [shard_graphs[shard_id] for shard_id in dirty]
+        fitted = self._fit_shards(dirty_graphs, _split_seed(seed, dirty_graphs))
+        for shard_id, method in zip(dirty, fitted):
+            methods[shard_id] = method
+
+        self._shard_graphs = shard_graphs
+        self._shard_methods = methods
         self._query_shard = {}
         self._ad_shard = {}
-
-        for queries, ads in connected_components(graph):
-            if not queries or not ads:
-                # A component missing one side is a single isolated node: it
-                # has no edges, so every score involving it is 0 (or the
-                # implicit 1 of the self-pair).  Skip it.
-                continue
-            self._shard_graphs.append(graph.subgraph(queries=queries, ads=ads))
-
-        self._shard_methods = self._fit_shards(self._shard_graphs)
-
         for shard_id, subgraph in enumerate(self._shard_graphs):
             for query in subgraph.queries():
                 self._query_shard[query] = shard_id
@@ -142,16 +186,29 @@ class ShardedSimrank(QuerySimilarityMethod):
             )
         return MatrixSimrank(config=self.config, mode=self.mode, min_score=self.min_score)
 
-    def _fit_shards(self, subgraphs: List[ClickGraph]) -> List[QuerySimilarityMethod]:
-        """Fit one inner engine per component, serially or on a thread pool."""
+    def _fit_shards(
+        self, subgraphs: List[ClickGraph], seeds: Optional[List] = None
+    ) -> List[QuerySimilarityMethod]:
+        """Fit one inner engine per component, serially or on a thread pool.
+
+        ``seeds`` optionally aligns one warm-start seed with each subgraph
+        (already restricted to that component by :func:`_split_seed`).
+        """
+        if seeds is None:
+            seeds = [None] * len(subgraphs)
         methods = [self._build_inner() for _ in subgraphs]
         workers = self._resolve_jobs(len(subgraphs))
         if workers <= 1 or len(subgraphs) <= 1:
-            for method, subgraph in zip(methods, subgraphs):
-                method.fit(subgraph)
+            for method, subgraph, seed in zip(methods, subgraphs, seeds):
+                method.fit(subgraph, initial_scores=seed)
             return methods
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            list(pool.map(lambda pair: pair[0].fit(pair[1]), zip(methods, subgraphs)))
+            list(
+                pool.map(
+                    lambda job: job[0].fit(job[1], initial_scores=job[2]),
+                    zip(methods, subgraphs, seeds),
+                )
+            )
         return methods
 
     def _resolve_jobs(self, num_shards: int) -> int:
@@ -169,6 +226,9 @@ class ShardedSimrank(QuerySimilarityMethod):
         error instead of reporting an empty (zero-shard) decomposition.
         """
         super().restore(scores, graph)
+        self.warm_started = False
+        self.reused_shards = None
+        self.refitted_shards = None
         self._shard_graphs = None
         self._shard_methods = None
         self._query_shard = None
@@ -208,3 +268,86 @@ class ShardedSimrank(QuerySimilarityMethod):
         if shard is None or shard != ad_shard.get(second):
             return 0.0
         return self._shard_methods[shard].ad_similarity(first, second)
+
+
+def _single_previous_shard(
+    queries,
+    ads,
+    previous_query_shard: Dict[Node, int],
+    previous_ad_shard: Dict[Node, int],
+) -> Optional[int]:
+    """The one previous shard this component's nodes all belonged to, if any.
+
+    ``None`` when the nodes span several previous shards (components merged)
+    or include nodes the previous fit never saw (new queries/ads) -- such a
+    component cannot be clean.  A single candidate is only a *candidate*:
+    the caller still verifies the component's adjacency is unchanged, so
+    edge-stat changes and splits within one previous shard are caught there.
+    """
+    candidate: Optional[int] = None
+    for query in queries:
+        shard = previous_query_shard.get(query)
+        if shard is None or (candidate is not None and shard != candidate):
+            return None
+        candidate = shard
+    for ad in ads:
+        shard = previous_ad_shard.get(ad)
+        if shard is None or shard != candidate:
+            return None
+    return candidate
+
+
+def _split_seed(seed, subgraphs: List[ClickGraph]) -> Optional[List]:
+    """One warm-start seed per dirty component, sliced from the global seed.
+
+    Handing every inner fit the full stitched seed would make each of them
+    remap the *whole* previous score store (``_seed_triplets`` scans all
+    stored entries), turning a warm fit into O(dirty components x total
+    pairs).  An array-backed seed is instead partitioned here with one pass
+    over its index plus per-component row/column slices, so each inner fit
+    only ever touches its own component's scores.  Components with no seeded
+    node get ``None`` (a plain cold inner fit).  Dict-backed seeds pass
+    through whole: the reference store's per-pair lookups are already local.
+    """
+    if seed is None or not subgraphs:
+        return None
+    matrix = getattr(seed, "matrix", None)
+    index = getattr(seed, "index", None)
+    if matrix is None or index is None:
+        return [seed] * len(subgraphs)
+    shard_of: Dict[Node, int] = {}
+    for shard_id, subgraph in enumerate(subgraphs):
+        for query in subgraph.queries():  # seeds hold query-side scores only
+            shard_of[query] = shard_id
+    positions: List[List[int]] = [[] for _ in subgraphs]
+    nodes: List[List[Node]] = [[] for _ in subgraphs]
+    for position, node in enumerate(index):
+        shard_id = shard_of.get(node)
+        if shard_id is not None:
+            positions[shard_id].append(position)
+            nodes[shard_id].append(node)
+    seeds = []
+    for shard_id in range(len(subgraphs)):
+        if positions[shard_id]:
+            block = matrix[positions[shard_id]][:, positions[shard_id]]
+            seeds.append(ArraySimilarityScores(block.tocsr(), nodes[shard_id]))
+        else:
+            seeds.append(None)
+    return seeds
+
+
+def _component_unchanged(
+    graph: ClickGraph, queries, ads, previous_shard: ClickGraph
+) -> bool:
+    """Whether a component of ``graph`` equals a previous induced shard.
+
+    Same node sets and, for every query, the same incident edges with the
+    same statistics.  Comparing the query-side adjacency alone covers every
+    edge (the graph is bipartite), and reading rows off the full graph is
+    sound because a component's edges never leave it.
+    """
+    if set(previous_shard.queries()) != queries or set(previous_shard.ads()) != ads:
+        return False
+    return all(
+        graph.ads_of(query) == previous_shard.ads_of(query) for query in queries
+    )

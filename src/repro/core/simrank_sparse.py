@@ -46,6 +46,7 @@ from scipy import sparse
 from repro.core.config import EvidenceKind, SimrankConfig
 from repro.core.scores_array import ArraySimilarityScores
 from repro.core.similarity_base import QuerySimilarityMethod
+from repro.core.warm_start import seed_csr
 from repro.graph.click_graph import ClickGraph
 
 __all__ = ["SparseSimrank"]
@@ -105,6 +106,8 @@ class SparseSimrank(QuerySimilarityMethod):
         }[mode]
         #: Iterations actually executed by the last fit (early exit included).
         self.iterations_run: Optional[int] = None
+        #: Whether the last fit started from a warm seed instead of identity.
+        self.warm_started: bool = False
         self._query_index: List[Node] = []
         self._ad_index: List[Node] = []
         self._query_matrix: Optional[sparse.csr_matrix] = None
@@ -113,6 +116,7 @@ class SparseSimrank(QuerySimilarityMethod):
     # -------------------------------------------------------------- fit path
 
     def _compute_query_scores(self, graph: ClickGraph) -> ArraySimilarityScores:
+        self.warm_started = False
         binary, self._query_index, self._ad_index = graph.to_sparse_matrix(binary=True)
         n_q, n_a = binary.shape
         if binary.nnz == 0:
@@ -141,8 +145,26 @@ class SparseSimrank(QuerySimilarityMethod):
                 binary.T.tocsr(), self.config.evidence, floor
             )
 
-        sim_query = sparse.identity(n_q, format="csr")
-        sim_ad = sparse.identity(n_a, format="csr")
+        seed = self._warm_start_scores
+        self.warm_started = seed is not None
+        if seed is not None:
+            # Warm start: seed the query side with the previous scores and
+            # derive the ad side by one application of the ad update -- the
+            # same half-step the dense engine takes, so both sides start
+            # near the fixpoint and the tolerance early exit can fire after
+            # a couple of polish iterations.
+            sim_query = seed_csr(seed, self._query_index)
+            sim_ad = (self.config.c2 * (p_ad @ sim_query @ p_ad.T)).tocsr()
+            if self.mode == "weighted":
+                sim_ad = _apply_evidence(sim_ad, evidence_ad, floor)
+            sim_ad = _with_unit_diagonal(sim_ad)
+            if self.min_score > 0.0:
+                sim_ad = _truncate(sim_ad, self.min_score)
+            if self.top_k is not None:
+                sim_ad = _retain_top_k(sim_ad, self.top_k)
+        else:
+            sim_query = sparse.identity(n_q, format="csr")
+            sim_ad = sparse.identity(n_a, format="csr")
         self.iterations_run = 0
         for _ in range(self.config.iterations):
             new_query = (self.config.c1 * (p_query @ sim_ad @ p_query.T)).tocsr()
@@ -191,6 +213,7 @@ class SparseSimrank(QuerySimilarityMethod):
         """
         super().restore(scores, graph)
         self.iterations_run = None
+        self.warm_started = False
         self._query_index = []
         self._ad_index = []
         self._query_matrix = None

@@ -1,0 +1,103 @@
+"""Warm-start seeds: previous similarity scores as Jacobi starting points.
+
+The SimRank family computes its fixpoint by Jacobi iteration, and the map is
+a contraction (decay factors below 1), so the iteration converges from *any*
+starting point -- the identity start merely needs the most iterations.  When
+a fit follows a small perturbation of an already-fitted graph (the
+incremental-refresh path of :meth:`repro.api.engine.RewriteEngine.refresh`),
+the previous scores are an excellent starting point: with tolerance-based
+early exit enabled (``SimrankConfig.tolerance``), a warm-started fit
+converges in a handful of iterations instead of re-propagating similarity
+from scratch.
+
+These helpers turn a previous score store -- array-backed
+(:class:`~repro.core.scores_array.ArraySimilarityScores`) or dict-backed
+(:class:`~repro.core.scores.SimilarityScores`), e.g. one revived from an
+engine snapshot -- into the backend's native seed structure over the *new*
+fit's node index.  Nodes absent from the previous scores start at the
+identity (new queries know nothing yet); previous nodes absent from the new
+index are dropped.
+
+Only the query side is ever seeded: snapshots persist nothing else, and the
+ad side does not need it -- each backend derives its ad-side seed by one
+application of the ad update to the seeded query scores, which lands both
+sides near the fixpoint together.  (Seeding one side alone while the other
+starts at the identity would be useless: the Jacobi alternation recomputes
+each side from the other, so the identity side's error would wash the seed
+out and convergence would take as long as a cold start.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+__all__ = ["seed_dense", "seed_csr", "seed_pair_scores"]
+
+Node = Hashable
+Pair = Tuple[Node, Node]
+
+
+def _seed_triplets(initial_scores, position: Dict[Node, int]):
+    """Stored score entries remapped into the new index as COO triplets.
+
+    Both directions of every surviving pair are returned (the stores are
+    symmetric).  Entries involving a node outside ``position`` are dropped.
+    """
+    matrix = getattr(initial_scores, "matrix", None)
+    old_index = getattr(initial_scores, "index", None)
+    if matrix is not None and old_index is not None:
+        # Array-backed store: vectorized remap of the CSR entries.
+        old_to_new = np.full(len(old_index), -1, dtype=np.int64)
+        for old_position, node in enumerate(old_index):
+            new_position = position.get(node)
+            if new_position is not None:
+                old_to_new[old_position] = new_position
+        coo = matrix.tocoo()
+        keep = (old_to_new[coo.row] >= 0) & (old_to_new[coo.col] >= 0)
+        return old_to_new[coo.row[keep]], old_to_new[coo.col[keep]], coo.data[keep]
+    rows = []
+    columns = []
+    data = []
+    for first, second, value in initial_scores.pairs():
+        i = position.get(first)
+        j = position.get(second)
+        if i is None or j is None:
+            continue
+        rows.extend((i, j))
+        columns.extend((j, i))
+        data.extend((value, value))
+    return (
+        np.asarray(rows, dtype=np.int64),
+        np.asarray(columns, dtype=np.int64),
+        np.asarray(data, dtype=float),
+    )
+
+
+def seed_dense(initial_scores, index: Sequence[Node]) -> np.ndarray:
+    """Dense similarity seed over ``index`` (unit diagonal, prior off-diagonals)."""
+    position = {node: i for i, node in enumerate(index)}
+    rows, columns, data = _seed_triplets(initial_scores, position)
+    seed = np.zeros((len(index), len(index)))
+    seed[rows, columns] = data
+    np.fill_diagonal(seed, 1.0)
+    return seed
+
+
+def seed_csr(initial_scores, index: Sequence[Node]) -> sparse.csr_matrix:
+    """Sparse CSR similarity seed over ``index`` (unit diagonal included)."""
+    n = len(index)
+    position = {node: i for i, node in enumerate(index)}
+    rows, columns, data = _seed_triplets(initial_scores, position)
+    off_diagonal = sparse.csr_matrix((data, (rows, columns)), shape=(n, n))
+    return (off_diagonal + sparse.identity(n, format="csr")).tocsr()
+
+
+def seed_pair_scores(initial_scores, pairs: Sequence[Pair]) -> Dict[Pair, float]:
+    """Per-pair seed dict for the reference (node-pair) engines."""
+    return {
+        (first, second): initial_scores.score(first, second)
+        for first, second in pairs
+    }

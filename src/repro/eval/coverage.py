@@ -10,7 +10,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+from typing import Dict, Hashable, List, Mapping, Tuple
 
 from repro.core.rewriter import RewriteList
 

@@ -10,6 +10,7 @@ Examples::
     simrankpp-experiments --experiment figure8 --backend sparse --prune-threshold 1e-4
     simrankpp-experiments --experiment figure8 --save-engine engines/
     simrankpp-experiments --experiment figure8 --load-engine engines/
+    simrankpp-experiments --experiment figure8 --tolerance 1e-8 --refresh-from engines/
     simrankpp-experiments --list-methods
 """
 
@@ -96,11 +97,35 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--refresh-from",
+        metavar="DIR",
+        default=None,
+        help=(
+            "use config-matching engine snapshots under DIR as warm-start "
+            "seeds: each engine is revived and refit on the current workload "
+            "with the snapshot's scores seeding the fixpoint (the "
+            "incremental path when the graph moved since the snapshot was "
+            "saved; --load-engine wins for snapshots of the identical graph)"
+        ),
+    )
+    parser.add_argument(
         "--list-methods",
         action="store_true",
         help="list the registered similarity methods and exit",
     )
     parser.add_argument("--iterations", type=int, default=7, help="SimRank iterations")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.0,
+        help=(
+            "early-exit threshold on the largest per-pair score change "
+            "between iterations (0 = always run the full iteration count); "
+            "required > 0 for --refresh-from to actually warm-start, since "
+            "a seeded fixpoint without early exit would over-converge past "
+            "the cold fit's defined result"
+        ),
+    )
     parser.add_argument("--decay", type=float, default=0.8, help="SimRank decay factors C1 = C2")
     parser.add_argument(
         "--desirability-cases", type=int, default=50, help="cases for the Figure 12 experiment"
@@ -122,6 +147,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         c1=args.decay,
         c2=args.decay,
         iterations=args.iterations,
+        tolerance=args.tolerance,
         prune_threshold=args.prune_threshold,
         prune_top_k=args.prune_top_k,
     )
@@ -133,6 +159,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         backend=args.backend,
         save_engines_to=args.save_engine,
         load_engines_from=args.load_engine,
+        refresh_engines_from=args.refresh_from,
     )
     if args.experiment == "all":
         output = experiments.render_all()

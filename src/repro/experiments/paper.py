@@ -10,7 +10,7 @@ EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.core.baselines import common_ad_count
 from repro.core.config import SimrankConfig
@@ -227,6 +227,10 @@ class PaperExperiments:
     #: ``load_engines_from`` instead of refitting; see ExperimentHarness.
     save_engines_to: Optional[str] = None
     load_engines_from: Optional[str] = None
+    #: Warm-start directory: config-matching snapshots of a *different*
+    #: graph state seed a warm refit instead of a cold fit (see
+    #: ExperimentHarness.refresh_engines_from).
+    refresh_engines_from: Optional[str] = None
     _result: Optional[EvaluationResult] = None
 
     def harness_result(self) -> EvaluationResult:
@@ -240,6 +244,7 @@ class PaperExperiments:
                 backend=self.backend,
                 save_engines_to=self.save_engines_to,
                 load_engines_from=self.load_engines_from,
+                refresh_engines_from=self.refresh_engines_from,
             )
             self._result = harness.run()
         return self._result

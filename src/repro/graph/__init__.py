@@ -10,13 +10,15 @@ The main entry point is :class:`ClickGraph`.  Helpers cover construction from
 raw click logs (:mod:`repro.graph.builders`), persistence
 (:mod:`repro.graph.io`, :mod:`repro.graph.storage`), structural statistics
 (:mod:`repro.graph.statistics`), connected components
-(:mod:`repro.graph.components`) and integrity validation
+(:mod:`repro.graph.components`), incremental updates between collection
+periods (:mod:`repro.graph.delta`) and integrity validation
 (:mod:`repro.graph.validation`).
 """
 
 from repro.graph.click_graph import ClickGraph, EdgeStats, NodeKind, WeightSource
 from repro.graph.builders import build_click_graph_from_log, merge_click_graphs
-from repro.graph.components import connected_components, largest_component
+from repro.graph.components import connected_components, largest_component, reachable_queries
+from repro.graph.delta import ClickGraphDelta, DeltaBuilder
 from repro.graph.io import (
     read_edges_jsonl,
     read_edges_tsv,
@@ -43,6 +45,9 @@ __all__ = [
     "merge_click_graphs",
     "connected_components",
     "largest_component",
+    "reachable_queries",
+    "ClickGraphDelta",
+    "DeltaBuilder",
     "read_edges_jsonl",
     "read_edges_tsv",
     "write_edges_jsonl",

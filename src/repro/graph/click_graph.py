@@ -351,6 +351,17 @@ class ClickGraph:
                 clone.add_edge_stats(query, ad, stats)
         return clone
 
+    def apply_delta(self, delta) -> "ClickGraph":
+        """Apply a :class:`~repro.graph.delta.ClickGraphDelta` in place.
+
+        Adds, updates and removes the delta's edges and returns ``self``.
+        The delta is validated against this graph before the first mutation
+        (see :meth:`~repro.graph.delta.ClickGraphDelta.apply_to`), so a
+        delta captured against a different graph state raises
+        ``ValueError`` without half-applying.
+        """
+        return delta.apply_to(self)
+
     # ---------------------------------------------------------------- export
 
     def to_networkx(self):

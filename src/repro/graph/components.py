@@ -12,7 +12,13 @@ from typing import Hashable, List, Set, Tuple
 
 from repro.graph.click_graph import ClickGraph
 
-__all__ = ["connected_components", "largest_component", "component_of", "bfs_ball"]
+__all__ = [
+    "connected_components",
+    "largest_component",
+    "component_of",
+    "bfs_ball",
+    "reachable_queries",
+]
 
 Node = Hashable
 
@@ -61,6 +67,37 @@ def component_of(graph: ClickGraph, query: Node) -> Tuple[Set[Node], Set[Node]]:
     if not graph.has_query(query):
         raise KeyError(f"query {query!r} is not in the graph")
     return _bfs(graph, start_query=query)
+
+
+def reachable_queries(
+    graph: ClickGraph,
+    queries: Set[Node] = frozenset(),
+    ads: Set[Node] = frozenset(),
+) -> Set[Node]:
+    """All query nodes connected to any of the given seed nodes.
+
+    One traversal over the union of the seeds' components (components
+    reached from an earlier seed are not re-walked).  Seeds absent from the
+    graph are ignored -- a delta's touched nodes may include endpoints that
+    a removal left behind in a previous graph state.  This is the
+    invalidation primitive of :meth:`repro.api.engine.RewriteEngine.refresh`:
+    SimRank-family scores only change within components that contain a
+    changed edge, so the queries whose rewrites could change are exactly the
+    ones reachable from the delta's endpoints.
+    """
+    seen_queries: Set[Node] = set()
+    seen_ads: Set[Node] = set()
+    for query in queries:
+        if graph.has_query(query) and query not in seen_queries:
+            component_queries, component_ads = _bfs(graph, start_query=query)
+            seen_queries |= component_queries
+            seen_ads |= component_ads
+    for ad in ads:
+        if graph.has_ad(ad) and ad not in seen_ads:
+            component_queries, component_ads = _bfs(graph, start_ad=ad)
+            seen_queries |= component_queries
+            seen_ads |= component_ads
+    return seen_queries
 
 
 def bfs_ball(graph: ClickGraph, query: Node, radius: int) -> Tuple[Set[Node], Set[Node]]:

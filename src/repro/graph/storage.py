@@ -12,7 +12,7 @@ from __future__ import annotations
 import sqlite3
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Set, Union
+from typing import Iterable, Iterator, List, Set, Union
 
 from repro.graph.click_graph import ClickGraph, EdgeStats
 

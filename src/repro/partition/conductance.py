@@ -10,7 +10,7 @@ set the ACL partitioner extracts.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, Set, Tuple
 
 from repro.graph.click_graph import ClickGraph
 from repro.partition.pagerank import GraphNode, node_degree, node_neighbors

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Set
+from typing import List, Optional
 
 from repro.graph.click_graph import ClickGraph
 from repro.partition.nibble import NibbleResult, pagerank_nibble

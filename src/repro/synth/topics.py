@@ -11,7 +11,7 @@ methods never see it.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 __all__ = ["Topic", "TopicModel", "TopicRelation"]

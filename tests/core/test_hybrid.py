@@ -71,6 +71,36 @@ class TestHybridSimilarity:
             )
             assert hybrid.query_similarity(first, second) == pytest.approx(expected)
 
+    def test_warm_start_refit_does_not_serve_stale_graph_scores(self, graph):
+        """An in-place mutated graph + seeded refit must refit the inner method.
+
+        This is the RewriteEngine.refresh pattern: the bound graph object is
+        mutated in place and the method refit with ``initial_scores``; the
+        identity-based reuse of a pre-fitted inner method must not keep the
+        pre-mutation graph scores alive.
+        """
+        config = SimrankConfig(iterations=5)
+        hybrid = HybridSimilarity(MatrixSimrank(config), alpha=1.0).fit(graph)
+        before = hybrid.query_similarity("camera", "digital camera")
+
+        graph.remove_edge("digital camera", "hp.com")  # in place, like refresh
+        hybrid.fit(graph, initial_scores=hybrid.similarities())
+        after = hybrid.query_similarity("camera", "digital camera")
+        fresh = MatrixSimrank(config).fit(graph)
+        assert after == pytest.approx(
+            fresh.query_similarity("camera", "digital camera")
+        )
+        assert after != pytest.approx(before)
+
+    def test_plain_refit_after_in_place_mutation_is_fresh_too(self, graph):
+        """The unseeded path must refit the inner method as well."""
+        config = SimrankConfig(iterations=5)
+        hybrid = HybridSimilarity(MatrixSimrank(config), alpha=1.0).fit(graph)
+        assert hybrid.query_similarity("camera", "digital camera") > 0.0
+        graph.remove_edge("digital camera", "hp.com")
+        hybrid.fit(graph)  # no seed: still must not serve stale inner scores
+        assert hybrid.query_similarity("camera", "digital camera") == 0.0
+
     def test_alpha_validation(self):
         with pytest.raises(ValueError):
             HybridSimilarity(MatrixSimrank(SimrankConfig(iterations=3)), alpha=1.5)

@@ -1,0 +1,207 @@
+"""Tests for click-graph deltas: capture, validation and application."""
+
+import pytest
+
+from repro.graph.click_graph import ClickGraph, EdgeStats
+from repro.graph.components import reachable_queries
+from repro.graph.delta import ClickGraphDelta, DeltaBuilder
+
+
+def small_graph() -> ClickGraph:
+    graph = ClickGraph()
+    graph.add_edge("camera", "hp.com", impressions=100, clicks=10)
+    graph.add_edge("camera", "bestbuy.com", impressions=50, clicks=5)
+    graph.add_edge("digital camera", "hp.com", impressions=80, clicks=8)
+    graph.add_edge("flowers", "teleflora.com", impressions=60, clicks=6)
+    return graph
+
+
+class TestClickGraphDelta:
+    def test_empty_delta(self):
+        delta = ClickGraphDelta()
+        assert delta.is_empty
+        assert not delta
+        assert len(delta) == 0
+        assert delta.touched_queries() == set()
+        assert delta.touched_ads() == set()
+
+    def test_touched_nodes_cover_all_groups(self):
+        delta = ClickGraphDelta(
+            added=(("q1", "a1", EdgeStats(10, 1)),),
+            updated=(("q2", "a2", EdgeStats(20, 2)),),
+            removed=(("q3", "a3"),),
+        )
+        assert delta.touched_queries() == {"q1", "q2", "q3"}
+        assert delta.touched_ads() == {"a1", "a2", "a3"}
+        assert len(delta) == 3
+
+    def test_duplicate_edge_within_group_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            ClickGraphDelta(
+                added=(("q", "a", EdgeStats(1, 1)), ("q", "a", EdgeStats(2, 2)))
+            )
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(ValueError, match="both"):
+            ClickGraphDelta(
+                added=(("q", "a", EdgeStats(1, 1)),),
+                removed=(("q", "a"),),
+            )
+
+    def test_apply_adds_updates_and_removes(self):
+        graph = small_graph()
+        delta = ClickGraphDelta(
+            added=(("pc", "dell.com", EdgeStats(30, 3)),),
+            updated=(("camera", "hp.com", EdgeStats(200, 20)),),
+            removed=(("flowers", "teleflora.com"),),
+        )
+        result = graph.apply_delta(delta)
+        assert result is graph
+        assert graph.edge("pc", "dell.com") == EdgeStats(30, 3)
+        assert graph.edge("camera", "hp.com") == EdgeStats(200, 20)
+        assert not graph.has_edge("flowers", "teleflora.com")
+        # Removal keeps the endpoints, like remove_edge.
+        assert graph.has_query("flowers")
+        assert graph.has_ad("teleflora.com")
+
+    def test_apply_validates_before_mutating(self):
+        graph = small_graph()
+        before = graph.copy()
+        bad = ClickGraphDelta(
+            added=(("pc", "dell.com", EdgeStats(30, 3)),),
+            removed=(("never", "seen"),),
+        )
+        with pytest.raises(ValueError, match="not in"):
+            graph.apply_delta(bad)
+        assert graph == before  # nothing half-applied
+
+    def test_apply_rejects_adding_existing_edge(self):
+        graph = small_graph()
+        bad = ClickGraphDelta(added=(("camera", "hp.com", EdgeStats(1, 1)),))
+        with pytest.raises(ValueError, match="already exists"):
+            graph.apply_delta(bad)
+
+    def test_between_round_trips(self):
+        old = small_graph()
+        new = small_graph()
+        new.apply_delta(
+            ClickGraphDelta(
+                added=(("pc", "dell.com", EdgeStats(30, 3)),),
+                updated=(("camera", "hp.com", EdgeStats(200, 20)),),
+                removed=(("flowers", "teleflora.com"),),
+            )
+        )
+        delta = ClickGraphDelta.between(old, new)
+        assert {edge[:2] for edge in delta.added} == {("pc", "dell.com")}
+        assert {edge[:2] for edge in delta.updated} == {("camera", "hp.com")}
+        assert set(delta.removed) == {("flowers", "teleflora.com")}
+        replayed = old.copy().apply_delta(delta)
+        assert {(q, a): s for q, a, s in replayed.edges()} == {
+            (q, a): s for q, a, s in new.edges()
+        }
+
+    def test_between_identical_graphs_is_empty(self):
+        assert ClickGraphDelta.between(small_graph(), small_graph()).is_empty
+
+    def test_inverted_round_trips(self):
+        graph = small_graph()
+        before = graph.copy()
+        delta = ClickGraphDelta(
+            added=(("pc", "dell.com", EdgeStats(30, 3)),),
+            updated=(("camera", "hp.com", EdgeStats(200, 20)),),
+            removed=(("flowers", "teleflora.com"),),
+        )
+        inverse = delta.inverted(graph)  # captured against the pre-apply state
+        graph.apply_delta(delta)
+        graph.apply_delta(inverse)
+        # The edge set round-trips exactly; endpoints the delta introduced
+        # stay behind as isolated nodes (edges-only semantics).
+        assert {(q, a): s for q, a, s in graph.edges()} == {
+            (q, a): s for q, a, s in before.edges()
+        }
+        assert set(before.queries()) <= set(graph.queries())
+        assert graph.query_degree("pc") == 0  # leftover endpoint is isolated
+
+    def test_inverted_requires_pre_apply_state(self):
+        graph = small_graph()
+        delta = ClickGraphDelta(removed=(("flowers", "teleflora.com"),))
+        graph.apply_delta(delta)
+        with pytest.raises(ValueError, match="pre-apply"):
+            delta.inverted(graph)  # too late: the edge is already gone
+
+
+class TestDeltaBuilder:
+    def test_streaming_events_reconcile_against_base(self):
+        base = small_graph()
+        builder = (
+            DeltaBuilder(base)
+            .set_edge("camera", "hp.com", impressions=200, clicks=20)
+            .set_edge("pc", "dell.com", impressions=30, clicks=3)
+            .remove_edge("flowers", "teleflora.com")
+        )
+        delta = builder.build()
+        assert {edge[:2] for edge in delta.updated} == {("camera", "hp.com")}
+        assert {edge[:2] for edge in delta.added} == {("pc", "dell.com")}
+        assert set(delta.removed) == {("flowers", "teleflora.com")}
+        base.apply_delta(delta)  # valid against the base by construction
+
+    def test_set_back_to_original_cancels_out(self):
+        base = small_graph()
+        builder = DeltaBuilder(base).set_edge(
+            "camera", "hp.com", impressions=100, clicks=10
+        )
+        assert builder.build().is_empty
+
+    def test_remove_of_unknown_edge_drops_out(self):
+        builder = DeltaBuilder(small_graph()).remove_edge("never", "seen")
+        assert builder.build().is_empty
+
+    def test_set_then_remove_collapses_to_remove(self):
+        builder = (
+            DeltaBuilder(small_graph())
+            .set_edge("camera", "hp.com", impressions=999, clicks=99)
+            .remove_edge("camera", "hp.com")
+        )
+        delta = builder.build()
+        assert set(delta.removed) == {("camera", "hp.com")}
+        assert not delta.added and not delta.updated
+
+    def test_merge_after_remove_starts_fresh(self):
+        """A removal must not resurrect the base statistics under a later merge."""
+        base = small_graph()
+        delta = (
+            DeltaBuilder(base)
+            .remove_edge("camera", "hp.com")
+            .merge_edge("camera", "hp.com", EdgeStats(impressions=5, clicks=1))
+            .build()
+        )
+        (edge,) = delta.updated
+        assert edge[2] == EdgeStats(impressions=5, clicks=1)  # not 105/11
+        assert not delta.removed
+
+    def test_merge_edge_folds_observations(self):
+        base = small_graph()
+        delta = (
+            DeltaBuilder(base)
+            .merge_edge("camera", "hp.com", EdgeStats(impressions=100, clicks=10))
+            .build()
+        )
+        (edge,) = delta.updated
+        assert edge[2].impressions == 200
+        assert edge[2].clicks == 20
+
+
+class TestReachableQueries:
+    def test_reaches_whole_component_from_query_or_ad(self):
+        graph = small_graph()
+        expected = {"camera", "digital camera"}
+        assert reachable_queries(graph, queries={"camera"}) == expected
+        assert reachable_queries(graph, ads={"hp.com"}) == expected
+
+    def test_unknown_seeds_are_ignored(self):
+        assert reachable_queries(small_graph(), queries={"ghost"}, ads={"ghost"}) == set()
+
+    def test_union_over_multiple_components(self):
+        graph = small_graph()
+        result = reachable_queries(graph, queries={"camera", "flowers"})
+        assert result == {"camera", "digital camera", "flowers"}
