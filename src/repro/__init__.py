@@ -63,6 +63,7 @@ from repro.core import (
     create_method,
 )
 from repro.eval import EditorialJudge, ExperimentHarness
+from repro.serving import EngineHolder, RewriteServer, ServerConfig
 from repro.graph import (
     ClickGraph,
     ClickGraphDelta,
@@ -95,6 +96,9 @@ __all__ = [
     "create_method",
     "EditorialJudge",
     "ExperimentHarness",
+    "EngineHolder",
+    "RewriteServer",
+    "ServerConfig",
     "ClickGraph",
     "ClickGraphDelta",
     "ClickGraphStore",

@@ -27,10 +27,27 @@ The fit also survives *graph change*: ``engine.refresh(delta)`` applies a
 warm-started from the current scores and invalidates only the cache
 entries whose rewrites could differ -- the incremental path for click
 graphs that shift continuously under serving traffic.
+
+Thread-safety contract
+----------------------
+The *serving* reads -- ``rewrite`` / ``rewrite_batch`` / ``expansions`` /
+``serving_profile`` -- are safe to call from multiple threads on one
+fitted engine: the similarity scan is a pure read of the fitted score
+store and the serving cache is guarded by an internal lock.  The
+*control-plane* operations -- ``fit``, ``refresh``, ``precompute``,
+``clear_cache``, ``save`` -- mutate engine state in multiple steps and
+must never run concurrently with each other or with serving reads on the
+same instance.  Deployments that need to refresh under live traffic take
+:meth:`RewriteEngine.copy` first, refresh the copy off to the side and
+atomically publish it (the copy-on-write swap implemented by
+:class:`repro.serving.EngineHolder`); readers holding the old engine keep
+seeing a fully consistent pre-refresh state.
 """
 
 from __future__ import annotations
 
+import copy as _copy
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -154,6 +171,11 @@ class RewriteEngine:
         #: What the most recent refresh(delta) call did (None before any).
         self.last_refresh: Optional[RefreshInfo] = None
         self._cache: "OrderedDict[Node, RewriteList]" = OrderedDict()
+        #: Guards the serving cache and its counters so concurrent
+        #: ``rewrite`` calls from executor threads stay consistent; the
+        #: control-plane operations (fit/refresh/precompute) are NOT made
+        #: concurrency-safe by this lock -- see the module docstring.
+        self._cache_lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -300,6 +322,19 @@ class RewriteEngine:
         itself fails, the delta is rolled back before the error propagates,
         so the engine keeps serving its consistent pre-refresh state and
         the same refresh can be retried.
+
+        **Thread-safety contract.**  ``refresh`` mutates this engine in
+        place across multiple steps -- the bound graph first, then (only
+        after the full replacement score store has been computed -- see
+        :meth:`~repro.core.similarity_base.QuerySimilarityMethod.fit`) the
+        published scores, then the serving cache -- so it must never run
+        concurrently with serving reads *on the same instance*: a reader
+        interleaved between those steps could pair new-graph rewrites with
+        old scores.  For zero-downtime refresh under live traffic, take
+        :meth:`copy` first, refresh the copy and publish it atomically
+        (:class:`repro.serving.EngineHolder` packages exactly this
+        copy-on-write swap); readers holding the old engine then never
+        observe partial refresh state.
         """
         self._require_fitted()
         if self._graph is None:
@@ -361,6 +396,49 @@ class RewriteEngine:
         )
         return self
 
+    def copy(self) -> "RewriteEngine":
+        """An independent engine with the same fitted state and cache.
+
+        The copy shares nothing mutable with the original: the click graph,
+        the fitted similarity method (scores, shard state) and the serving
+        cache are all duplicated, so mutating one engine -- ``refresh``,
+        ``fit``, cache churn -- never affects the other.  This is the
+        copy-on-write half of the zero-downtime serving swap: refresh the
+        copy off to the side while the original keeps serving, then publish
+        the copy atomically (see :class:`repro.serving.EngineHolder`).
+
+        Cached rewrite lists themselves are shared (they are immutable
+        value objects), which keeps the copy cheap relative to a refit.
+        """
+        clone = type(self)(config=self.config, bid_terms=self._bid_terms)
+        memo: Dict[int, object] = {}
+        if self._graph is not None:
+            clone._graph = self._graph.copy()
+            # Seed deepcopy's memo so the method's internal graph reference
+            # lands on the clone's graph copy, not a third graph instance.
+            memo[id(self._graph)] = clone._graph
+        clone._rewriter = _copy.deepcopy(self._rewriter, memo)
+        with self._cache_lock:
+            clone._cache = OrderedDict(self._cache)
+            clone._hits = self._hits
+            clone._misses = self._misses
+            clone._evictions = self._evictions
+        clone.last_refresh = self.last_refresh
+        clone._precompute_universe = (
+            list(self._precompute_universe)
+            if self._precompute_universe is not None
+            else None
+        )
+        clone._snapshot_iterations_run = self._snapshot_iterations_run
+        clone._snapshot_graph_fingerprint = (
+            dict(self._snapshot_graph_fingerprint)
+            if self._snapshot_graph_fingerprint is not None
+            else None
+        )
+        clone._snapshot_state_generation = self._snapshot_state_generation
+        clone._served_generation = self._served_generation
+        return clone
+
     def _warm_start_sound(self) -> bool:
         """Whether seeding the refit preserves the method's result definition.
 
@@ -390,30 +468,64 @@ class RewriteEngine:
         A positive ``cache_size`` bounds it with least-recently-used
         eviction for long-tail online traffic; eviction only ever costs a
         recompute on the next sighting, never a different result.
+
+        Safe to call from multiple threads: cache reads and inserts are
+        lock-guarded, and the similarity scan itself is a pure read of the
+        fitted scores.  Two threads racing on the same cold query both
+        compute the (identical, deterministic) result and the second insert
+        is a harmless overwrite -- both count as misses.
         """
         self._require_fitted()
-        cached = self._cache.get(query)
-        if cached is not None:
-            self._hits += 1
-            if self.config.cache_size is not None:
-                # Recency only matters when eviction can happen; the
-                # unbounded hit path stays a read-only dictionary lookup.
-                self._cache.move_to_end(query)
-            return cached
-        self._misses += 1
+        with self._cache_lock:
+            cached = self._cache.get(query)
+            if cached is not None:
+                self._hits += 1
+                if self.config.cache_size is not None:
+                    # Recency only matters when eviction can happen; the
+                    # unbounded hit path stays a read-only dictionary lookup.
+                    self._cache.move_to_end(query)
+                return cached
+            self._misses += 1
         # The engine is the single cache layer: misses bypass the rewriter's
         # unbounded memo, otherwise the LRU bound would not bound anything.
+        # Computed outside the lock -- this is the expensive part, and
+        # holding the lock through it would serialize concurrent serving.
         result = self._rewriter.compute_rewrites(query)
-        self._cache[query] = result
-        capacity = self.config.cache_size
-        if capacity is not None and len(self._cache) > capacity:
-            self._cache.popitem(last=False)
-            self._evictions += 1
+        with self._cache_lock:
+            self._cache[query] = result
+            capacity = self.config.cache_size
+            if capacity is not None:
+                while len(self._cache) > capacity:
+                    self._cache.popitem(last=False)
+                    self._evictions += 1
         return result
 
     def rewrite_batch(self, queries: Sequence[Node]) -> List[RewriteList]:
-        """Rewrite lists for a whole traffic batch, aligned with the input."""
-        return [self.rewrite(query) for query in queries]
+        """Rewrite lists for a whole traffic batch, aligned with the input.
+
+        Repeated queries within the batch are deduplicated: each unique
+        query hits the score store / serving cache exactly once and the
+        duplicates are served from a batch-local memo (micro-batched online
+        traffic makes duplicate-heavy batches the common case, and with a
+        bounded cache a duplicate re-seen after churn would otherwise pay a
+        full recompute).  Duplicate occurrences count as cache hits in
+        :meth:`cache_info` -- they are served without a similarity scan.
+        """
+        memo: Dict[Node, RewriteList] = {}
+        results: List[RewriteList] = []
+        duplicates = 0
+        for query in queries:
+            seen = memo.get(query)
+            if seen is None:
+                seen = self.rewrite(query)
+                memo[query] = seen
+            else:
+                duplicates += 1
+            results.append(seen)
+        if duplicates:
+            with self._cache_lock:
+                self._hits += duplicates
+        return results
 
     def serving_profile(
         self, queries: Sequence[Node]
@@ -563,21 +675,23 @@ class RewriteEngine:
 
     def cache_info(self) -> CacheInfo:
         """Hit/miss/eviction counters and current size of the serving cache."""
-        return CacheInfo(
-            hits=self._hits,
-            misses=self._misses,
-            size=len(self._cache),
-            evictions=self._evictions,
-            capacity=self.config.cache_size,
-        )
+        with self._cache_lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._cache),
+                evictions=self._evictions,
+                capacity=self.config.cache_size,
+            )
 
     def clear_cache(self) -> None:
         """Drop all cached rewrite lists and reset every cache counter."""
-        self._cache.clear()
-        self._rewriter.clear_cache()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        with self._cache_lock:
+            self._cache.clear()
+            self._rewriter.clear_cache()
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
 
     # ------------------------------------------------------------ persistence
 

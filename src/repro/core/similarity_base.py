@@ -52,6 +52,13 @@ class QuerySimilarityMethod(abc.ABC):
         verbatim.  Methods without an iterative fixpoint (Pearson, the
         overlap baselines) ignore the seed; results are unchanged either
         way, only the work to reach them shrinks.
+
+        The replacement score store is computed *fully* before being
+        published into ``self._query_scores`` (a single reference
+        assignment), so a fit that raises mid-computation leaves the
+        previously fitted scores untouched and still serving.  This is the
+        build-then-publish half of the serving tier's refresh contract
+        (see :meth:`repro.api.engine.RewriteEngine.refresh`).
         """
         self._graph = graph
         self._warm_start_scores = initial_scores

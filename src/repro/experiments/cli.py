@@ -12,6 +12,13 @@ Examples::
     simrankpp-experiments --experiment figure8 --load-engine engines/
     simrankpp-experiments --experiment figure8 --tolerance 1e-8 --refresh-from engines/
     simrankpp-experiments --list-methods
+
+The ``serve`` subcommand starts the online serving tier
+(:mod:`repro.serving`) around a fitted or snapshot-revived engine::
+
+    simrankpp-experiments serve --size small --port 8641
+    simrankpp-experiments serve --snapshot engines/two-week-weighted --precompute
+    simrankpp-experiments serve --help
 """
 
 from __future__ import annotations
@@ -36,6 +43,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="simrankpp-experiments",
         description="Regenerate the tables and figures of the Simrank++ paper (VLDB 2008).",
+        epilog=(
+            "Run 'simrankpp-experiments serve --help' for the online "
+            "rewrite-serving subcommand (asyncio HTTP server with "
+            "zero-downtime engine refresh)."
+        ),
     )
     parser.add_argument(
         "--experiment",
@@ -135,6 +147,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "serve":
+        # The serving tier is a separate argument universe (network knobs,
+        # engine source) -- dispatch before the experiments parser sees it.
+        from repro.serving.app import serve_main
+
+        return serve_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list_methods:

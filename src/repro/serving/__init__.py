@@ -1,0 +1,59 @@
+"""The online serving tier: asyncio rewrite server with zero-downtime refresh.
+
+This package composes the offline/online split built up by the previous
+layers -- snapshots (:mod:`repro.api.snapshot`), incremental deltas and
+warm refits (:mod:`repro.graph.delta`, ``RewriteEngine.refresh``) -- into
+an actual network service:
+
+* :class:`~repro.serving.holder.EngineHolder` -- copy-on-write engine
+  publication: readers serve from an immutable ``(engine, version)`` pair
+  while ``refresh(delta)`` / ``reload(path)`` build a full replacement off
+  to the side and publish it atomically.
+* :class:`~repro.serving.server.RewriteServer` /
+  :class:`~repro.serving.server.ServerConfig` -- stdlib-asyncio HTTP server
+  with request micro-batching, bounded concurrency and graceful draining.
+* :mod:`~repro.serving.loadgen` -- Zipf-skewed hot/cold load generator and
+  latency reporting (:class:`~repro.serving.loadgen.ZipfSchedule`,
+  :func:`~repro.serving.loadgen.run_load`).
+
+Start one from the command line with ``simrankpp-experiments serve`` or
+programmatically::
+
+    holder = EngineHolder(engine)
+    async with RewriteServer(holder, ServerConfig(port=8641)) as server:
+        ...
+"""
+
+from repro.serving.holder import EngineHolder
+from repro.serving.loadgen import (
+    LoadReport,
+    RecordedResponse,
+    ZipfSchedule,
+    http_request,
+    request_once,
+    run_load,
+)
+from repro.serving.metrics import LatencyWindow, percentile, summarize_latencies
+from repro.serving.server import (
+    RewriteServer,
+    ServerConfig,
+    delta_from_payload,
+    delta_to_payload,
+)
+
+__all__ = [
+    "EngineHolder",
+    "RewriteServer",
+    "ServerConfig",
+    "ZipfSchedule",
+    "LoadReport",
+    "RecordedResponse",
+    "LatencyWindow",
+    "percentile",
+    "summarize_latencies",
+    "http_request",
+    "request_once",
+    "run_load",
+    "delta_from_payload",
+    "delta_to_payload",
+]

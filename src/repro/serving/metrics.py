@@ -1,0 +1,72 @@
+"""Tiny latency bookkeeping shared by the server, the load generator and tests.
+
+Nothing here is statistical machinery -- just the nearest-rank percentile
+definition used consistently across ``/stats``, the load reports and the
+``bench_serving_load`` gate, so a "p99" means the same thing everywhere.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Sequence
+
+__all__ = ["percentile", "summarize_latencies", "LatencyWindow"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100]).
+
+    Returns 0.0 for an empty sequence -- callers report "no samples" via
+    the accompanying count, not by special-casing here.
+    """
+    if not values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def summarize_latencies(values: Iterable[float]) -> Dict[str, float]:
+    """The standard latency summary: count, mean, p50, p95, p99, max (ms in -> ms out)."""
+    samples: List[float] = list(values)
+    if not samples:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "count": len(samples),
+        "mean": sum(samples) / len(samples),
+        "p50": percentile(samples, 50),
+        "p95": percentile(samples, 95),
+        "p99": percentile(samples, 99),
+        "max": max(samples),
+    }
+
+
+class LatencyWindow:
+    """A bounded window of recent latency samples (milliseconds).
+
+    The server records per-request service times here; ``/stats`` reports
+    the percentile summary of the most recent ``maxlen`` samples, so the
+    numbers track current behaviour instead of averaging over the whole
+    process lifetime.
+    """
+
+    def __init__(self, maxlen: int) -> None:
+        self._samples: Deque[float] = deque(maxlen=maxlen)
+        self._total = 0
+
+    def record(self, latency_ms: float) -> None:
+        self._samples.append(latency_ms)
+        self._total += 1
+
+    @property
+    def total_recorded(self) -> int:
+        """Samples ever recorded (the window only keeps the recent ones)."""
+        return self._total
+
+    def summary(self) -> Dict[str, float]:
+        summary = summarize_latencies(self._samples)
+        summary["recorded"] = self._total
+        return summary

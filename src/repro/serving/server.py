@@ -1,0 +1,726 @@
+"""Asyncio HTTP server for online query rewriting with zero-downtime refresh.
+
+The paper's deployment (Section 9.3) computes rewrites offline and serves
+them per search request; this module is the online half as an actual
+network service, stdlib-only (``asyncio`` streams plus a deliberately
+minimal HTTP/1.1 implementation -- request line, headers, Content-Length
+bodies, keep-alive).
+
+Request flow::
+
+    client -> POST /rewrite -> bounded queue -> micro-batcher
+           -> (semaphore slot) -> executor thread: engine.rewrite_batch
+           -> futures resolved -> JSON response (with the engine version)
+
+Single-query requests arriving close together are coalesced into one
+executor batch (``ServerConfig.max_batch_size`` / ``batch_linger_ms``), so
+duplicate-heavy traffic hits the engine's per-batch dedup and the serving
+cache instead of paying one executor hop per request.  Each request's
+response is computed against **one** :class:`~repro.serving.holder.
+EngineHolder` snapshot -- an ``(engine, version)`` pair read atomically --
+so refreshes running concurrently can never produce a torn response that
+mixes two engine versions.
+
+Endpoints (all request/response bodies are JSON):
+
+``POST /rewrite``
+    ``{"query": "camera"}`` -> the filtered ranked rewrites + engine version.
+``POST /rewrite_batch``
+    ``{"queries": [...]}`` -> aligned results, all from one engine version.
+``POST /refresh``
+    A click-graph delta (see :func:`delta_from_payload`); applies it via
+    the holder's copy-on-write refresh in a background executor -- traffic
+    keeps being served by the old engine until the atomic swap.
+``POST /reload``
+    ``{"path": "engines/today"}`` -> hot-load a snapshot directory and swap.
+``GET /healthz``
+    Liveness + current engine version.
+``GET /stats``
+    Serving counters, queue/batch state, latency percentiles, cache info.
+
+Shutdown is graceful: :meth:`RewriteServer.stop` stops accepting, lets the
+queued and in-flight requests finish (bounded by
+``ServerConfig.drain_timeout_s``), then tears down the connections and
+executors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import json
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.api.engine import RewriteEngine
+from repro.core.rewriter import RewriteList
+from repro.graph.click_graph import EdgeStats
+from repro.graph.delta import ClickGraphDelta
+from repro.serving.holder import EngineHolder
+from repro.serving.metrics import LatencyWindow
+
+__all__ = [
+    "ServerConfig",
+    "RewriteServer",
+    "delta_from_payload",
+    "delta_to_payload",
+]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs of the serving process.
+
+    Attributes
+    ----------
+    host / port:
+        Listen address; port ``0`` binds an ephemeral port (read the real
+        one from :attr:`RewriteServer.address` -- the tests and benchmarks
+        run this way so parallel runs never collide).
+    max_batch_size:
+        Most requests coalesced into one executor micro-batch.
+    batch_linger_ms:
+        How long the batcher waits for more requests after the first one
+        before dispatching a partial batch.  ``0`` dispatches whatever is
+        already queued without waiting (lowest latency, smallest batches).
+    max_concurrency:
+        Micro-batches allowed in executor threads at once (the semaphore
+        bound); also sizes the serving thread pool.
+    queue_size:
+        Bound of the request queue; requests beyond it are rejected with
+        HTTP 503 instead of growing an unbounded backlog.
+    drain_timeout_s:
+        How long :meth:`RewriteServer.stop` waits for queued + in-flight
+        requests to finish before force-closing.
+    max_request_bytes:
+        Request bodies larger than this are rejected with HTTP 413.
+    latency_window:
+        How many recent rewrite requests the server-side latency
+        percentiles in ``/stats`` are computed over.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_batch_size: int = 32
+    batch_linger_ms: float = 1.0
+    max_concurrency: int = 4
+    queue_size: int = 1024
+    drain_timeout_s: float = 10.0
+    max_request_bytes: int = 1 << 20
+    latency_window: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.batch_linger_ms < 0:
+            raise ValueError(f"batch_linger_ms must be >= 0, got {self.batch_linger_ms}")
+        if self.max_concurrency < 1:
+            raise ValueError(f"max_concurrency must be >= 1, got {self.max_concurrency}")
+        if self.queue_size < 1:
+            raise ValueError(f"queue_size must be >= 1, got {self.queue_size}")
+        if self.drain_timeout_s < 0:
+            raise ValueError(f"drain_timeout_s must be >= 0, got {self.drain_timeout_s}")
+        if self.latency_window < 1:
+            raise ValueError(f"latency_window must be >= 1, got {self.latency_window}")
+
+
+# --------------------------------------------------------------- wire format
+
+
+def _stats_from_payload(edge: Dict[str, Any]) -> EdgeStats:
+    kwargs: Dict[str, Any] = {
+        "impressions": int(edge["impressions"]),
+        "clicks": int(edge["clicks"]),
+    }
+    if "expected_click_rate" in edge:
+        kwargs["expected_click_rate"] = float(edge["expected_click_rate"])
+    return EdgeStats(**kwargs)
+
+
+def delta_from_payload(payload: Dict[str, Any]) -> ClickGraphDelta:
+    """Decode the ``/refresh`` JSON body into a :class:`ClickGraphDelta`.
+
+    Shape (all three groups optional)::
+
+        {"added":   [{"query": q, "ad": a, "impressions": i, "clicks": c,
+                      "expected_click_rate": r?}, ...],
+         "updated": [... same shape, new statistics ...],
+         "removed": [{"query": q, "ad": a}, ...]}
+    """
+    added = tuple(
+        (edge["query"], edge["ad"], _stats_from_payload(edge))
+        for edge in payload.get("added", ())
+    )
+    updated = tuple(
+        (edge["query"], edge["ad"], _stats_from_payload(edge))
+        for edge in payload.get("updated", ())
+    )
+    removed = tuple((edge["query"], edge["ad"]) for edge in payload.get("removed", ()))
+    return ClickGraphDelta(added=added, updated=updated, removed=removed)
+
+
+def delta_to_payload(delta: ClickGraphDelta) -> Dict[str, Any]:
+    """Encode a delta as the ``/refresh`` JSON body (client-side helper)."""
+
+    def edge_payload(query: Node, ad: Node, stats: EdgeStats) -> Dict[str, Any]:
+        return {
+            "query": query,
+            "ad": ad,
+            "impressions": stats.impressions,
+            "clicks": stats.clicks,
+            "expected_click_rate": stats.expected_click_rate,
+        }
+
+    return {
+        "added": [edge_payload(*entry) for entry in delta.added],
+        "updated": [edge_payload(*entry) for entry in delta.updated],
+        "removed": [{"query": query, "ad": ad} for query, ad in delta.removed],
+    }
+
+
+def _rewrites_payload(result: RewriteList) -> List[Dict[str, Any]]:
+    return [
+        {"rewrite": rewrite.rewrite, "rank": rewrite.rank, "score": rewrite.score}
+        for rewrite in result.rewrites
+    ]
+
+
+# ------------------------------------------------------------ HTTP plumbing
+
+
+class _HttpError(Exception):
+    """A request that maps directly to an HTTP error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class _Request:
+    method: str
+    path: str
+    headers: Dict[str, str]
+    body: bytes
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def json(self) -> Dict[str, Any]:
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise _HttpError(400, f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        return payload
+
+
+@dataclass
+class _WorkItem:
+    """One request's queries, answered as a unit against one engine version."""
+
+    queries: Tuple[Node, ...]
+    future: "asyncio.Future[Tuple[int, List[List[Dict[str, Any]]]]]"
+    enqueued_at: float = 0.0
+
+
+@dataclass
+class _Counters:
+    requests: int = 0
+    responses: Dict[int, int] = field(default_factory=dict)
+    endpoints: Dict[str, int] = field(default_factory=dict)
+    rewrites_served: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    max_batch: int = 0
+    rejected_queue_full: int = 0
+    queue_high_water: int = 0
+    refreshes: int = 0
+    reloads: int = 0
+
+
+class RewriteServer:
+    """The asyncio serving process around an :class:`EngineHolder`.
+
+    Usage::
+
+        holder = EngineHolder(engine)
+        server = RewriteServer(holder, ServerConfig(port=0))
+        await server.start()
+        host, port = server.address
+        ...
+        await server.stop()        # graceful: drains in-flight requests
+
+    or as an async context manager::
+
+        async with RewriteServer(holder) as server:
+            ...
+
+    The server never blocks traffic on a refit: ``/refresh`` and
+    ``/reload`` run in a single-worker admin executor and publish through
+    the holder's copy-on-write swap, while rewrite micro-batches keep
+    executing against the previously published engine.
+    """
+
+    def __init__(
+        self, holder: EngineHolder, config: Optional[ServerConfig] = None
+    ) -> None:
+        self._holder = holder
+        self._config = config or ServerConfig()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._queue: Optional["asyncio.Queue[_WorkItem]"] = None
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._dispatcher: Optional["asyncio.Task[None]"] = None
+        self._serve_executor: Optional[ThreadPoolExecutor] = None
+        self._admin_executor: Optional[ThreadPoolExecutor] = None
+        self._batch_tasks: set = set()
+        self._conn_tasks: set = set()
+        self._pending: set = set()
+        self._draining = False
+        self._counters = _Counters()
+        self._latency = LatencyWindow(self._config.latency_window)
+        self._started_at: Optional[float] = None
+
+    # -------------------------------------------------------------- lifecycle
+
+    @property
+    def config(self) -> ServerConfig:
+        return self._config
+
+    @property
+    def holder(self) -> EngineHolder:
+        return self._holder
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` -- the real port even when configured 0."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        name = self._server.sockets[0].getsockname()
+        return name[0], name[1]
+
+    async def start(self) -> "RewriteServer":
+        """Bind the listen socket and start the micro-batch dispatcher."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self._config.queue_size)
+        self._semaphore = asyncio.Semaphore(self._config.max_concurrency)
+        self._serve_executor = ThreadPoolExecutor(
+            max_workers=self._config.max_concurrency,
+            thread_name_prefix="repro-serve",
+        )
+        # Refresh/reload get their own single worker: a long refit must not
+        # occupy a serving slot, and a saturated serving pool must not
+        # delay the swap that would relieve it.
+        self._admin_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-admin"
+        )
+        self._draining = False
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self._config.host, port=self._config.port
+        )
+        self._dispatcher = self._loop.create_task(self._dispatch_loop())
+        self._started_at = self._loop.time()
+        return self
+
+    async def stop(self, drain_timeout_s: Optional[float] = None) -> None:
+        """Graceful shutdown: stop accepting, drain, then tear down.
+
+        New requests are rejected with 503 the moment draining starts;
+        queued and in-flight requests are given ``drain_timeout_s``
+        (default: the config's) to finish, after which any survivors are
+        failed and the connections closed.
+        """
+        if self._server is None:
+            return
+        timeout = (
+            self._config.drain_timeout_s if drain_timeout_s is None else drain_timeout_s
+        )
+        self._draining = True
+        self._server.close()
+        await self._server.wait_closed()
+        assert self._loop is not None and self._queue is not None
+        deadline = self._loop.time() + timeout
+        while (
+            not self._queue.empty() or self._batch_tasks or self._pending
+        ) and self._loop.time() < deadline:
+            await asyncio.sleep(0.005)
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._dispatcher
+        # Fail whatever the drain window did not cover, so no client hangs.
+        for fut in list(self._pending):
+            if not fut.done():
+                fut.set_exception(_HttpError(503, "server shutting down"))
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._serve_executor is not None:
+            self._serve_executor.shutdown(wait=True)
+        if self._admin_executor is not None:
+            self._admin_executor.shutdown(wait=True)
+        self._server = None
+        self._dispatcher = None
+
+    async def __aenter__(self) -> "RewriteServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # ---------------------------------------------------------- micro-batcher
+
+    async def _submit(self, queries: Sequence[Node]) -> Tuple[int, List[List[Dict[str, Any]]]]:
+        """Enqueue one request's queries; resolves to (version, per-query rows)."""
+        assert self._loop is not None and self._queue is not None
+        if self._draining:
+            raise _HttpError(503, "server is draining")
+        item = _WorkItem(
+            queries=tuple(queries),
+            future=self._loop.create_future(),
+            enqueued_at=self._loop.time(),
+        )
+        try:
+            self._queue.put_nowait(item)
+        except asyncio.QueueFull:
+            self._counters.rejected_queue_full += 1
+            raise _HttpError(503, "request queue is full") from None
+        self._counters.queue_high_water = max(
+            self._counters.queue_high_water, self._queue.qsize()
+        )
+        self._pending.add(item.future)
+        item.future.add_done_callback(self._pending.discard)
+        return await item.future
+
+    async def _dispatch_loop(self) -> None:
+        """Coalesce queued requests into micro-batches and run them."""
+        assert self._loop is not None and self._queue is not None
+        assert self._semaphore is not None
+        linger_s = self._config.batch_linger_ms / 1000.0
+        while True:
+            batch = [await self._queue.get()]
+            if linger_s > 0:
+                deadline = self._loop.time() + linger_s
+                while len(batch) < self._config.max_batch_size:
+                    remaining = deadline - self._loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        batch.append(
+                            await asyncio.wait_for(self._queue.get(), remaining)
+                        )
+                    except asyncio.TimeoutError:
+                        break
+            else:
+                while len(batch) < self._config.max_batch_size:
+                    try:
+                        batch.append(self._queue.get_nowait())
+                    except asyncio.QueueEmpty:
+                        break
+            # The semaphore is the concurrency bound: at most
+            # max_concurrency batches in executor threads at once; further
+            # batches wait here, applying backpressure through the queue.
+            await self._semaphore.acquire()
+            task = self._loop.create_task(self._run_batch(batch))
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._batch_tasks.discard)
+
+    async def _run_batch(self, batch: List[_WorkItem]) -> None:
+        assert self._loop is not None and self._semaphore is not None
+        try:
+            # One atomic holder read per batch: every request in the batch
+            # is answered by this engine version, torn responses impossible.
+            engine, version = self._holder.current()
+            unique = list(
+                dict.fromkeys(query for item in batch for query in item.queries)
+            )
+            try:
+                rows = await self._loop.run_in_executor(
+                    self._serve_executor, self._compute, engine, unique
+                )
+            except Exception as exc:  # noqa: BLE001 -- forwarded to clients
+                for item in batch:
+                    if not item.future.done():
+                        item.future.set_exception(
+                            _HttpError(500, f"rewrite failed: {exc}")
+                        )
+                return
+            self._counters.batches += 1
+            self._counters.batched_requests += len(batch)
+            self._counters.max_batch = max(self._counters.max_batch, len(batch))
+            self._counters.rewrites_served += len(unique)
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_result(
+                        (version, [rows[query] for query in item.queries])
+                    )
+        finally:
+            self._semaphore.release()
+
+    @staticmethod
+    def _compute(
+        engine: RewriteEngine, unique: List[Node]
+    ) -> Dict[Node, List[Dict[str, Any]]]:
+        """Executor-thread body: serve the deduplicated batch off one engine."""
+        results = engine.rewrite_batch(unique)
+        return {
+            query: _rewrites_payload(result) for query, result in zip(unique, results)
+        }
+
+    # ------------------------------------------------------------- connection
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as exc:
+                    await self._write_response(
+                        writer, exc.status, {"error": exc.message}, keep_alive=False
+                    )
+                    break
+                if request is None:
+                    break
+                status, payload = await self._respond(request)
+                keep_alive = request.keep_alive and not self._draining
+                await self._write_response(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _read_request(self, reader: asyncio.StreamReader) -> Optional[_Request]:
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, path, _ = line.decode("latin-1").split()
+        except ValueError:
+            raise _HttpError(400, "malformed request line") from None
+        headers: Dict[str, str] = {}
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        if length > self._config.max_request_bytes:
+            raise _HttpError(413, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return _Request(method=method, path=path, headers=headers, body=body)
+
+    async def _respond(self, request: _Request) -> Tuple[int, Dict[str, Any]]:
+        self._counters.requests += 1
+        self._counters.endpoints[request.path] = (
+            self._counters.endpoints.get(request.path, 0) + 1
+        )
+        assert self._loop is not None
+        started = self._loop.time()
+        try:
+            payload = await self._route(request)
+            status = 200
+        except _HttpError as exc:
+            status, payload = exc.status, {"error": exc.message}
+        except Exception as exc:  # noqa: BLE001 -- the server must not die
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        if request.path in ("/rewrite", "/rewrite_batch") and status == 200:
+            self._latency.record((self._loop.time() - started) * 1000.0)
+        self._counters.responses[status] = self._counters.responses.get(status, 0) + 1
+        return status, payload
+
+    async def _route(self, request: _Request) -> Dict[str, Any]:
+        handlers = {
+            ("POST", "/rewrite"): self._handle_rewrite,
+            ("POST", "/rewrite_batch"): self._handle_rewrite_batch,
+            ("POST", "/refresh"): self._handle_refresh,
+            ("POST", "/reload"): self._handle_reload,
+            ("GET", "/healthz"): self._handle_healthz,
+            ("GET", "/stats"): self._handle_stats,
+        }
+        handler = handlers.get((request.method, request.path))
+        if handler is None:
+            known_paths = {path for _, path in handlers}
+            if request.path in known_paths:
+                raise _HttpError(405, f"method {request.method} not allowed")
+            raise _HttpError(404, f"unknown endpoint {request.path}")
+        return await handler(request)
+
+    # -------------------------------------------------------------- endpoints
+
+    async def _handle_rewrite(self, request: _Request) -> Dict[str, Any]:
+        payload = request.json()
+        query = payload.get("query")
+        if not isinstance(query, str) or not query:
+            raise _HttpError(400, "body must carry a non-empty string 'query'")
+        version, rows = await self._submit((query,))
+        return {"version": version, "query": query, "rewrites": rows[0]}
+
+    async def _handle_rewrite_batch(self, request: _Request) -> Dict[str, Any]:
+        payload = request.json()
+        queries = payload.get("queries")
+        if not isinstance(queries, list) or not queries:
+            raise _HttpError(400, "body must carry a non-empty list 'queries'")
+        if not all(isinstance(query, str) and query for query in queries):
+            raise _HttpError(400, "every entry of 'queries' must be a non-empty string")
+        version, rows = await self._submit(queries)
+        return {
+            "version": version,
+            "results": [
+                {"query": query, "rewrites": row} for query, row in zip(queries, rows)
+            ],
+        }
+
+    async def _handle_refresh(self, request: _Request) -> Dict[str, Any]:
+        try:
+            delta = delta_from_payload(request.json())
+        except _HttpError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise _HttpError(400, f"invalid delta payload: {exc}") from exc
+        assert self._loop is not None
+        started = self._loop.time()
+        try:
+            version = await self._loop.run_in_executor(
+                self._admin_executor, self._holder.refresh, delta
+            )
+        except (KeyError, ValueError) as exc:
+            # A delta that does not match the served graph state (edge
+            # already present / absent) is a client error, not a crash.
+            raise _HttpError(400, f"delta rejected: {exc}") from exc
+        self._counters.refreshes += 1
+        info = self._holder.engine.last_refresh
+        return {
+            "version": version,
+            "seconds": self._loop.time() - started,
+            "refresh": dataclasses.asdict(info) if info is not None else None,
+        }
+
+    async def _handle_reload(self, request: _Request) -> Dict[str, Any]:
+        payload = request.json()
+        path = payload.get("path")
+        if not isinstance(path, str) or not path:
+            raise _HttpError(400, "body must carry a non-empty string 'path'")
+        precompute = bool(payload.get("precompute", False))
+        assert self._loop is not None
+        started = self._loop.time()
+
+        def _reload() -> int:
+            return self._holder.reload(path, precompute=precompute)
+
+        version = await self._loop.run_in_executor(self._admin_executor, _reload)
+        self._counters.reloads += 1
+        return {
+            "version": version,
+            "seconds": self._loop.time() - started,
+            "path": path,
+        }
+
+    async def _handle_healthz(self, request: _Request) -> Dict[str, Any]:
+        engine, version = self._holder.current()
+        return {"status": "ok", "version": version, "fitted": engine.is_fitted}
+
+    async def _handle_stats(self, request: _Request) -> Dict[str, Any]:
+        assert self._loop is not None and self._queue is not None
+        engine, version = self._holder.current()
+        counters = self._counters
+        return {
+            "uptime_s": (
+                self._loop.time() - self._started_at if self._started_at else 0.0
+            ),
+            "engine": {
+                "version": version,
+                "swaps": self._holder.swaps,
+                "fitted": engine.is_fitted,
+                "cache": dataclasses.asdict(engine.cache_info()),
+                "last_swap_seconds": self._holder.last_swap_seconds,
+            },
+            "requests": {
+                "total": counters.requests,
+                "by_endpoint": dict(counters.endpoints),
+                "by_status": {
+                    str(status): count
+                    for status, count in sorted(counters.responses.items())
+                },
+                "rejected_queue_full": counters.rejected_queue_full,
+            },
+            "batching": {
+                "batches": counters.batches,
+                "batched_requests": counters.batched_requests,
+                "mean_batch": (
+                    counters.batched_requests / counters.batches
+                    if counters.batches
+                    else 0.0
+                ),
+                "max_batch": counters.max_batch,
+                "unique_rewrites_served": counters.rewrites_served,
+                "queue_depth": self._queue.qsize(),
+                "queue_high_water": counters.queue_high_water,
+                "in_flight_batches": len(self._batch_tasks),
+            },
+            "refreshes": counters.refreshes,
+            "reloads": counters.reloads,
+            "latency_ms": self._latency.summary(),
+            "draining": self._draining,
+        }
+
+    # ----------------------------------------------------------------- output
+
+    @staticmethod
+    async def _write_response(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, Any],
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        connection = "keep-alive" if keep_alive else "close"
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {connection}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()

@@ -269,6 +269,20 @@ class TestBoundedCache:
         engine.rewrite_batch(sorted(str(q) for q in small_weighted_graph.queries()))
         assert engine.cache_info().evictions == 0
 
+    def test_batch_duplicates_survive_eviction_via_batch_memo(
+        self, small_weighted_graph
+    ):
+        """Within one batch, a duplicate never recomputes -- even when the
+        bounded cache already evicted the first occurrence's entry."""
+        engine = self.build(small_weighted_graph, cache_size=1)
+        calls = counting_top_rewrites(engine)
+        results = engine.rewrite_batch(["camera", "pc", "camera"])
+        # pc evicted camera from the LRU, but the batch memo still holds it.
+        assert calls["count"] == 2
+        assert results[2] is results[0]
+        info = engine.cache_info()
+        assert (info.hits, info.misses, info.size) == (1, 2, 1)
+
     @pytest.mark.parametrize("cache_size", [0, -1])
     def test_invalid_cache_size_rejected(self, cache_size):
         with pytest.raises(ValueError):
@@ -278,6 +292,55 @@ class TestBoundedCache:
         config = EngineConfig(cache_size=128)
         assert EngineConfig.from_dict(config.to_dict()) == config
         assert EngineConfig.from_dict(EngineConfig().to_dict()).cache_size is None
+
+
+class TestConcurrentServing:
+    """The serving half of the thread-safety contract (see the module
+    docstring of ``repro.api.engine``): rewrite()/rewrite_batch() from many
+    threads against one engine stay correct and keep the cache bounded."""
+
+    def test_threaded_rewrites_match_ground_truth(self, small_weighted_graph):
+        from concurrent.futures import ThreadPoolExecutor
+
+        engine = RewriteEngine.from_graph(
+            small_weighted_graph,
+            EngineConfig(method="weighted_simrank", cache_size=2),
+        ).fit()
+        queries = sorted(str(q) for q in small_weighted_graph.queries())
+        expected = {q: engine.rewrite(q).as_tuples() for q in queries}
+        engine.clear_cache()
+        stream = [queries[(i * 7) % len(queries)] for i in range(200)]
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(engine.rewrite, stream))
+
+        for query, result in zip(stream, results):
+            assert result.as_tuples() == expected[query]
+        info = engine.cache_info()
+        assert info.size <= 2  # the bound held under concurrent inserts
+        # Double-computes under racing misses are allowed, torn counters
+        # are not: every request is accounted a hit or a miss.
+        assert info.hits + info.misses >= len(stream)
+
+    def test_threaded_batches_share_one_cache_safely(self, small_weighted_graph):
+        from concurrent.futures import ThreadPoolExecutor
+
+        engine = RewriteEngine.from_graph(
+            small_weighted_graph,
+            EngineConfig(method="weighted_simrank", cache_size=3),
+        ).fit()
+        queries = sorted(str(q) for q in small_weighted_graph.queries())
+        expected = {q: engine.rewrite(q).as_tuples() for q in queries}
+        engine.clear_cache()
+        batches = [queries[i:] + queries[:i] for i in range(len(queries))] * 4
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            all_results = list(pool.map(engine.rewrite_batch, batches))
+
+        for batch, results in zip(batches, all_results):
+            for query, result in zip(batch, results):
+                assert result.as_tuples() == expected[query]
+        assert engine.cache_info().size <= 3
 
 
 class TestExplain:

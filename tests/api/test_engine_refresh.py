@@ -352,3 +352,50 @@ class TestRefreshErrors:
         with pytest.raises(ValueError):
             engine.refresh(bad)
         assert engine.serving_profile(queries) == before
+
+
+class TestCopy:
+    """RewriteEngine.copy(): the building block of copy-on-write serving."""
+
+    def test_copy_serves_identically_and_shares_no_cache(self):
+        engine = build_engine(build_graph(), cache_size=8)
+        queries = sorted(str(q) for q in engine.graph.queries())
+        engine.rewrite_batch(queries[:4])
+        clone = engine.copy()
+        assert clone is not engine
+        assert clone.serving_profile(queries) == engine.serving_profile(queries)
+        # Counters came across, but the cache itself is independent.
+        assert clone.cache_info().size == engine.cache_info().size
+        clone.clear_cache()
+        assert clone.cache_info().size == 0
+        assert engine.cache_info().size > 0
+
+    def test_refreshing_the_copy_leaves_the_original_untouched(self):
+        graph = build_graph()
+        engine = build_engine(graph)
+        queries = sorted(str(q) for q in graph.queries())
+        before_profile = engine.serving_profile(queries)
+        before_edges = {(q, a) for q, a, _ in engine.graph.edges()}
+
+        clone = engine.copy()
+        clone.refresh(one_component_delta(clone.graph))
+
+        assert engine.graph is not clone.graph
+        assert {(q, a) for q, a, _ in engine.graph.edges()} == before_edges
+        assert engine.serving_profile(queries) == before_profile
+        assert engine.last_refresh is None
+        assert clone.last_refresh is not None
+        # ... and the refreshed copy matches a from-scratch fit.
+        fresh = build_engine(clone.graph.copy())
+        assert [row[:3] for row in clone.serving_profile(queries)] == [
+            row[:3] for row in fresh.serving_profile(queries)
+        ]
+
+    def test_copy_of_a_snapshot_engine_keeps_serving(self, tmp_path):
+        engine = build_engine(build_graph())
+        queries = sorted(str(q) for q in engine.graph.queries())
+        engine.save(tmp_path / "snap")
+        loaded = RewriteEngine.load(tmp_path / "snap")
+        clone = loaded.copy()
+        assert clone.graph is None
+        assert clone.serving_profile(queries) == engine.serving_profile(queries)

@@ -1,0 +1,76 @@
+"""Load-generator pieces: Zipf schedules and latency summaries."""
+
+import pytest
+
+from repro.serving import LatencyWindow, ZipfSchedule, percentile, summarize_latencies
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 50) == 0.0
+
+    def test_single_value_is_every_percentile(self):
+        assert percentile([7.0], 1) == 7.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_nearest_rank_on_known_data(self):
+        values = [float(v) for v in range(1, 101)]  # 1..100
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 100) == 100.0
+
+    def test_input_order_does_not_matter(self):
+        assert percentile([5.0, 1.0, 3.0], 50) == percentile([1.0, 3.0, 5.0], 50)
+
+
+class TestSummarizeLatencies:
+    def test_summary_fields(self):
+        summary = summarize_latencies([1.0, 2.0, 3.0, 4.0])
+        assert summary["count"] == 4
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["p50"] == 2.0
+        assert summary["max"] == 4.0
+
+    def test_empty_summary(self):
+        summary = summarize_latencies([])
+        assert summary["count"] == 0
+        assert summary["p99"] == 0.0
+
+
+class TestLatencyWindow:
+    def test_window_is_bounded_but_counts_everything(self):
+        window = LatencyWindow(maxlen=4)
+        for value in range(10):
+            window.record(float(value))
+        assert window.total_recorded == 10
+        summary = window.summary()
+        assert summary["count"] == 4  # only the most recent four remain
+        assert summary["max"] == 9.0
+
+
+class TestZipfSchedule:
+    def test_rejects_empty_queries(self):
+        with pytest.raises(ValueError):
+            ZipfSchedule([])
+
+    def test_sample_is_deterministic_per_seed(self):
+        queries = [f"q{i}" for i in range(20)]
+        first = ZipfSchedule(queries, seed=3).sample(50)
+        second = ZipfSchedule(queries, seed=3).sample(50)
+        third = ZipfSchedule(queries, seed=4).sample(50)
+        assert first == second
+        assert first != third
+
+    def test_samples_are_skewed_toward_the_head(self):
+        queries = [f"q{i}" for i in range(50)]
+        schedule = ZipfSchedule(queries, alpha=1.2, seed=0)
+        sample = schedule.sample(2000)
+        head_hits = sum(1 for q in sample if q in set(queries[:5]))
+        tail_hits = sum(1 for q in sample if q in set(queries[-5:]))
+        assert head_hits > 5 * max(tail_hits, 1)
+
+    def test_hot_set_is_a_prefix(self):
+        queries = [f"q{i}" for i in range(10)]
+        schedule = ZipfSchedule(queries)
+        assert schedule.hot_set(0.3) == ["q0", "q1", "q2"]
+        assert schedule.hot_set(1.0) == queries
