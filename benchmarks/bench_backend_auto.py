@@ -1,0 +1,277 @@
+"""Gates of the ``backend="auto"`` planner and the process-pool parallel fit.
+
+Two claims are enforced, and both measurements land in
+``BENCH_backend_auto.json`` next to this file:
+
+1. **Auto never loses badly.**  Across a scenario matrix spanning the shapes
+   the planner distinguishes -- one small dense component, one large sparse
+   component, a many-component graph -- the auto backend's fit time must stay
+   within ~10% of the best *fixed* backend (matrix / sparse / sharded) on
+   that scenario, plus a small absolute slack for timer noise on
+   millisecond-scale fits.  Auto's scores must also match the dense engine's
+   (the planner only chooses *which* engine runs, never what it computes).
+
+2. **Process-pool fitting scales.**  On a many-component graph whose shard
+   fits dominate the fork/pickle overhead, ``n_jobs=4`` with
+   ``executor="process"`` must fit at least 2.5x faster than the same
+   serial fit.  The claim needs 4 schedulable CPUs, so the gate skips
+   (after recording the measurement environment in the artifact) on smaller
+   machines -- CI's 4-core runners enforce it.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest -q -s benchmarks/bench_backend_auto.py
+    PYTHONPATH=src python benchmarks/bench_backend_auto.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import SimrankConfig
+from repro.core.parallel import available_cpu_count
+from repro.core.planner import AutoSimrank
+from repro.core.simrank_matrix import MatrixSimrank
+from repro.core.simrank_sharded import ShardedSimrank
+from repro.core.simrank_sparse import SparseSimrank
+from repro.synth.scenarios import multi_component_graph
+
+#: Auto may lose to the best fixed backend by at most this factor...
+AUTO_OVERHEAD_CEILING = 1.10
+#: ...plus this absolute slack (seconds): planning costs one component sweep,
+#: which is timer noise on fits measured in milliseconds.
+AUTO_ABSOLUTE_SLACK = 0.05
+
+PARALLEL_SPEEDUP_FLOOR = 2.5
+PARALLEL_JOBS = 4
+
+ROUNDS = 2
+
+CONFIG = SimrankConfig(iterations=7, zero_evidence_floor=0.1)
+
+#: The planner's decision space, one scenario per shape: a single dense
+#: component (dense numpy should win), a single large sparse component (the
+#: CSR engine should win) and a disconnected graph (sharding should win).
+SCENARIOS = [
+    (
+        "one_dense_component",
+        dict(num_components=1, queries_per_component=60, ads_per_component=40,
+             extra_edges=150, seed=7),
+    ),
+    (
+        "one_sparse_component",
+        dict(num_components=1, queries_per_component=320, ads_per_component=320,
+             extra_edges=100, seed=7),
+    ),
+    (
+        "many_components",
+        dict(num_components=30, queries_per_component=30, ads_per_component=20,
+             extra_edges=90, seed=41),
+    ),
+]
+
+#: The parallel gate's graph: per-shard fits heavy enough that the process
+#: pool's fork + pickle overhead is amortised many times over.  The pruning
+#: knobs bound both the sparse fill-in and the size of the fitted engines
+#: pickled back to the parent.
+PARALLEL_GRAPH = dict(
+    num_components=8, queries_per_component=220, ads_per_component=220,
+    extra_edges=600, seed=53,
+)
+PARALLEL_CONFIG = SimrankConfig(
+    iterations=25, zero_evidence_floor=0.1, prune_threshold=1e-4, prune_top_k=20
+)
+
+ARTIFACT_PATH = Path(__file__).resolve().parent / "BENCH_backend_auto.json"
+
+
+FIXED_BACKENDS = {
+    "matrix": lambda: MatrixSimrank(CONFIG, mode="weighted"),
+    "sparse": lambda: SparseSimrank(CONFIG, mode="weighted"),
+    "sharded": lambda: ShardedSimrank(CONFIG, mode="weighted"),
+}
+
+
+def best_fit_seconds(method_factory, graph, rounds=ROUNDS):
+    """Fastest of ``rounds`` full fits (best-of to damp scheduler noise)."""
+    best = float("inf")
+    for _ in range(rounds):
+        method = method_factory()
+        start = time.perf_counter()
+        method.fit(graph)
+        best = min(best, time.perf_counter() - start)
+    return best, method
+
+
+def measure_scenario(label: str, parameters: dict) -> dict:
+    graph = multi_component_graph(**parameters)
+    fixed = {}
+    reference = None
+    for name, factory in FIXED_BACKENDS.items():
+        seconds, method = best_fit_seconds(factory, graph)
+        fixed[name] = seconds
+        if name == "matrix":
+            reference = method
+    auto_seconds, auto = best_fit_seconds(
+        lambda: AutoSimrank(CONFIG, mode="weighted"), graph
+    )
+    best_name = min(fixed, key=fixed.get)
+    return {
+        "label": label,
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "fixed_fit_seconds": fixed,
+        "best_fixed_backend": best_name,
+        "best_fixed_seconds": fixed[best_name],
+        "auto_fit_seconds": auto_seconds,
+        "auto_vs_best_ratio": auto_seconds / fixed[best_name],
+        "auto_strategy": auto.plan.strategy,
+        "max_score_difference": reference.similarities().max_difference(
+            auto.similarities()
+        ),
+    }
+
+
+def measure_parallel() -> dict:
+    graph = multi_component_graph(**PARALLEL_GRAPH)
+    serial_seconds, serial = best_fit_seconds(
+        lambda: ShardedSimrank(
+            PARALLEL_CONFIG, mode="weighted", n_jobs=1, inner_backend="sparse"
+        ),
+        graph,
+    )
+    parallel_seconds, parallel = best_fit_seconds(
+        lambda: ShardedSimrank(
+            PARALLEL_CONFIG,
+            mode="weighted",
+            n_jobs=PARALLEL_JOBS,
+            inner_backend="sparse",
+            executor="process",
+        ),
+        graph,
+    )
+    return {
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "components": serial.num_shards,
+        "n_jobs": PARALLEL_JOBS,
+        "available_cpus": available_cpu_count(),
+        "serial_fit_seconds": serial_seconds,
+        "parallel_fit_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+        "max_score_difference": serial.similarities().max_difference(
+            parallel.similarities()
+        ),
+    }
+
+
+def write_artifact(scenarios=None, parallel=None) -> None:
+    """Merge-write the artifact so either test can run (or skip) alone."""
+    payload = {
+        "benchmark": "bench_backend_auto",
+        "config": {
+            "iterations": CONFIG.iterations,
+            "zero_evidence_floor": CONFIG.zero_evidence_floor,
+            "mode": "weighted",
+            "auto_overhead_ceiling": AUTO_OVERHEAD_CEILING,
+            "auto_absolute_slack": AUTO_ABSOLUTE_SLACK,
+            "parallel_speedup_floor": PARALLEL_SPEEDUP_FLOOR,
+        },
+        "scenarios": None,
+        "parallel": None,
+    }
+    if ARTIFACT_PATH.exists():
+        try:
+            previous = json.loads(ARTIFACT_PATH.read_text())
+            payload["scenarios"] = previous.get("scenarios")
+            payload["parallel"] = previous.get("parallel")
+        except (ValueError, OSError):
+            pass
+    if scenarios is not None:
+        payload["scenarios"] = scenarios
+    if parallel is not None:
+        payload["parallel"] = parallel
+    ARTIFACT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+EXPECTED_STRATEGIES = {
+    "one_dense_component": "single-dense",
+    "one_sparse_component": "single-sparse",
+    "many_components": "sharded",
+}
+
+
+def test_auto_stays_within_10pct_of_the_best_fixed_backend():
+    results = [measure_scenario(label, params) for label, params in SCENARIOS]
+    write_artifact(scenarios=results)
+    for row in results:
+        print(
+            f"\n{row['label']:>20}: best fixed {row['best_fixed_backend']} "
+            f"{row['best_fixed_seconds'] * 1000:7.1f} ms, auto "
+            f"{row['auto_fit_seconds'] * 1000:7.1f} ms "
+            f"({row['auto_vs_best_ratio']:.2f}x, plan {row['auto_strategy']})"
+        )
+        assert row["auto_strategy"] == EXPECTED_STRATEGIES[row["label"]], row["label"]
+        assert row["max_score_difference"] < 1e-6, row["label"]
+        ceiling = (
+            row["best_fixed_seconds"] * AUTO_OVERHEAD_CEILING + AUTO_ABSOLUTE_SLACK
+        )
+        assert row["auto_fit_seconds"] <= ceiling, (
+            f"{row['label']}: auto took {row['auto_fit_seconds']:.3f}s, over the "
+            f"{ceiling:.3f}s ceiling (best fixed: {row['best_fixed_backend']} "
+            f"at {row['best_fixed_seconds']:.3f}s)"
+        )
+
+
+def test_process_pool_fit_is_at_least_2_5x_faster():
+    cpus = available_cpu_count()
+    if cpus < PARALLEL_JOBS:
+        write_artifact(
+            parallel={"skipped": True, "available_cpus": cpus, "n_jobs": PARALLEL_JOBS}
+        )
+        pytest.skip(
+            f"needs {PARALLEL_JOBS} schedulable CPUs for the speedup claim, "
+            f"found {cpus}"
+        )
+    result = measure_parallel()
+    write_artifact(parallel=result)
+    print(
+        f"\nserial {result['serial_fit_seconds']:.2f}s, n_jobs={PARALLEL_JOBS} "
+        f"process {result['parallel_fit_seconds']:.2f}s "
+        f"({result['speedup']:.1f}x on {result['available_cpus']} CPUs)"
+    )
+    assert result["max_score_difference"] == 0.0
+    assert result["speedup"] >= PARALLEL_SPEEDUP_FLOOR, (
+        f"process pool only {result['speedup']:.2f}x faster than serial "
+        f"(floor: {PARALLEL_SPEEDUP_FLOOR}x)"
+    )
+
+
+def main() -> None:
+    results = [measure_scenario(label, params) for label, params in SCENARIOS]
+    write_artifact(scenarios=results)
+    for row in results:
+        print(
+            f"{row['label']:>20}: best {row['best_fixed_backend']} "
+            f"{row['best_fixed_seconds'] * 1000:7.1f} ms, auto "
+            f"{row['auto_fit_seconds'] * 1000:7.1f} ms "
+            f"({row['auto_vs_best_ratio']:.2f}x, {row['auto_strategy']})"
+        )
+    if available_cpu_count() >= PARALLEL_JOBS:
+        result = measure_parallel()
+        write_artifact(parallel=result)
+        print(
+            f"parallel: serial {result['serial_fit_seconds']:.2f}s -> "
+            f"{result['parallel_fit_seconds']:.2f}s ({result['speedup']:.1f}x)"
+        )
+    else:
+        print(f"parallel gate skipped: {available_cpu_count()} CPU(s) available")
+    print(f"wrote {ARTIFACT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,7 +11,7 @@ Run with::
 Choosing a backend
 ------------------
 
-The SimRank methods run on four interchangeable backends, selected with
+The SimRank methods run on five interchangeable backends, selected with
 ``EngineConfig(backend=...)``; all agree within 1e-6 (``tests/equivalence/``
 enforces this):
 
@@ -29,6 +29,16 @@ enforces this):
   score perturbation for even less fill-in (truncation is exact only when
   both knobs are off -- serving top-k survives pruning as long as
   prune_top_k comfortably exceeds the rewrite depth).
+* ``auto`` -- a planner inspects the graph at fit time (component sizes,
+  density, node count) and runs whichever of the above its shape favours,
+  per shard when it shards; the decision is inspectable afterwards as
+  ``engine.plan_report``.  When in doubt, pick this one.
+
+Sharded and auto fits take ``EngineConfig(n_jobs=N, executor=...)`` to fit
+independent components on a worker pool: ``n_jobs=-1`` means one worker per
+*available* CPU (cgroup/affinity-aware), and ``executor`` picks threads, a
+process pool (true multi-core for heavy shards) or ``"auto"`` to size that
+choice from the planned work.
 
 Snapshots and the serving cache
 -------------------------------
@@ -159,6 +169,15 @@ def main() -> None:
         f"sim('camera', 'digital camera') = "
         f"{sparse_engine.method.query_similarity('camera', 'digital camera'):.4f}"
     )
+
+    # backend="auto" lets the planner pick: this graph's three small
+    # components plan as a sharded fit with dense inner engines, and the
+    # decision is inspectable (and survives snapshots) as plan_report.
+    auto_engine = RewriteEngine.from_graph(
+        graph, config.replace(backend="auto"), bid_terms=bid_terms
+    ).fit()
+    plan = auto_engine.plan_report
+    print(f"auto backend:    {plan.summary()}")
 
     # Offline -> online persistence: snapshot the fitted engine, revive it in
     # a "new process" without refitting, and serve with a bounded LRU cache.

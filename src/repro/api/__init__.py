@@ -16,11 +16,12 @@ This package is the single front door to the library for serving workloads:
 Choosing a backend
 ------------------
 
-The SimRank family ships four interchangeable backends, selected with
+The SimRank family ships five interchangeable backends, selected with
 ``EngineConfig(backend=...)`` (or ``--backend`` on the experiments CLI); all
 compute the same fixpoint and agree within 1e-6 -- the standing
 ``tests/equivalence/`` harness asserts exactly that for every mode (the
-``sparse`` backend with truncation disabled, its default).
+``sparse`` backend with truncation disabled, its default).  When in doubt,
+pick ``auto`` and let the planner decide from the graph's shape.
 
 ``reference``
     The node-pair implementations that follow the paper's equations
@@ -58,6 +59,32 @@ compute the same fixpoint and agree within 1e-6 -- the standing
     depth.  ``benchmarks/bench_sparse_backend.py`` gates the speedup (>= 3x
     over ``matrix`` on a 1500-node sparse scenario, measured ~14x) and
     records the ``BENCH_sparse_backend.json`` perf trajectory.
+``auto``
+    A planner (:mod:`repro.core.planner`) that inspects the click graph at
+    fit time -- component-size histogram, bipartite density, node count --
+    and runs whichever of the above the shape favours: one dense or sparse
+    fit for (near-)single-component graphs, or the sharded engine with a
+    dense/sparse inner engine chosen *per shard*.  The decision is recorded
+    in an inspectable :class:`~repro.core.planner.PlanReport`
+    (``engine.plan_report``, persisted in snapshot manifests, printed by
+    ``simrankpp-experiments --backend auto``).  Scores are identical to the
+    fixed backend the plan names.  ``benchmarks/bench_backend_auto.py``
+    gates auto within ~10% of the best fixed backend per scenario.
+
+Parallel fitting
+----------------
+
+The sharded and auto backends fit independent components on a worker pool:
+``EngineConfig(n_jobs=N)`` (or ``ShardedSimrank(n_jobs=...)``) sets the
+worker count, with ``-1`` meaning one worker per *available* CPU --
+affinity-aware via :func:`repro.core.parallel.available_cpu_count`, so
+cgroup-restricted containers are not oversubscribed.  ``executor=`` picks
+the pool flavour: ``"thread"`` (cheap, GIL-bound outside numpy),
+``"process"`` (true multi-core: shards are batched into cost-balanced
+picklable payloads, warm-start seeds shipped per shard) or ``"auto"`` (the
+default -- processes only when the estimated work amortises the fork/pickle
+overhead).  ``benchmarks/bench_backend_auto.py`` gates ``n_jobs=4`` process
+fitting at >= 2.5x a single-core fit on a many-component graph.
 
 All backends serve scores through the array-backed
 :class:`~repro.core.scores_array.ArraySimilarityScores` store, which wraps
@@ -106,7 +133,7 @@ entry -- the paper's full-precompute mode).  Evictions are counted in
 sighting and never a different result.
 """
 
-from repro.api.config import EngineConfig
+from repro.api.config import ConfigError, EngineConfig
 from repro.api.engine import CacheInfo, Explanation, RefreshInfo, RewriteEngine
 from repro.api.registry import (
     PAPER_METHODS,
@@ -133,6 +160,7 @@ from repro.api.snapshot import (
 )
 
 __all__ = [
+    "ConfigError",
     "EngineConfig",
     "CacheInfo",
     "Explanation",

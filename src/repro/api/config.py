@@ -17,7 +17,22 @@ from typing import Any, Dict, Optional
 from repro.core.config import EvidenceKind, SimrankConfig
 from repro.graph.click_graph import WeightSource
 
-__all__ = ["EngineConfig"]
+__all__ = ["ConfigError", "EngineConfig"]
+
+
+class ConfigError(ValueError):
+    """An invalid :class:`EngineConfig`, rejected at construction time.
+
+    Raised when the config is *built* -- directly, via ``replace``, or while
+    deserializing a snapshot manifest through :meth:`EngineConfig.from_dict`
+    -- so a typo'd backend or a nonsensical ``n_jobs`` fails right where the
+    mistake is, not deep inside a later ``fit()``.  Subclasses
+    :class:`ValueError`, so pre-existing ``except ValueError`` handling
+    keeps working.
+    """
+
+
+_EXECUTORS = ("thread", "process", "auto")
 
 
 #: ``similarity`` sub-dictionary fields and how to decode them from plain values.
@@ -65,6 +80,14 @@ class EngineConfig:
         keeps every entry -- the paper's full-precompute deployment mode.
         Eviction never changes served results, only the recompute cost of
         re-seeing an evicted query; see ``CacheInfo.evictions``.
+    n_jobs:
+        Worker count for parallel shard fits (sharded/auto backends): a
+        positive integer, or ``-1`` for one worker per *available* CPU
+        (affinity-aware; see :func:`repro.core.parallel.available_cpu_count`).
+    executor:
+        Pool flavour for parallel shard fits: ``"thread"``, ``"process"``
+        (true multi-core), or ``"auto"`` (the default) to pick processes
+        only when the estimated work amortises the fork/pickle overhead.
     """
 
     method: str = "weighted_simrank"
@@ -76,23 +99,57 @@ class EngineConfig:
     deduplicate: bool = True
     bid_filtering: bool = True
     cache_size: Optional[int] = None
+    n_jobs: int = 1
+    executor: str = "auto"
 
     def __post_init__(self) -> None:
         if not self.method or not isinstance(self.method, str):
-            raise ValueError(f"method must be a non-empty string, got {self.method!r}")
+            raise ConfigError(f"method must be a non-empty string, got {self.method!r}")
+        self._validate_backend()
         if self.max_rewrites < 1:
-            raise ValueError(f"max_rewrites must be at least 1, got {self.max_rewrites}")
+            raise ConfigError(f"max_rewrites must be at least 1, got {self.max_rewrites}")
         if self.candidate_pool < self.max_rewrites:
-            raise ValueError(
+            raise ConfigError(
                 f"candidate_pool ({self.candidate_pool}) must be at least "
                 f"max_rewrites ({self.max_rewrites})"
             )
         if self.min_score < 0:
-            raise ValueError(f"min_score must be >= 0, got {self.min_score}")
+            raise ConfigError(f"min_score must be >= 0, got {self.min_score}")
         if self.cache_size is not None and self.cache_size < 1:
-            raise ValueError(
+            raise ConfigError(
                 "cache_size must be a positive integer or None (unbounded), "
                 f"got {self.cache_size}"
+            )
+        if self.n_jobs == 0 or self.n_jobs < -1:
+            raise ConfigError(
+                f"n_jobs must be a positive integer or -1 (all CPUs), got {self.n_jobs}"
+            )
+        if self.executor not in _EXECUTORS:
+            raise ConfigError(
+                f"executor must be one of {_EXECUTORS}, got {self.executor!r}"
+            )
+
+    def _validate_backend(self) -> None:
+        """Reject a backend the configured method does not provide.
+
+        Checked against the live registry so the typo fails at construction
+        (including :meth:`from_dict` on a snapshot manifest) rather than
+        when the engine is eventually built.  Methods not registered *yet*
+        (plugin methods configured before registration) are left for
+        :func:`repro.api.registry.create` to resolve later.
+        """
+        if self.backend is None:
+            return
+        from repro.api import registry
+
+        try:
+            spec = registry.method_spec(self.method)
+        except registry.UnknownMethodError:
+            return
+        if self.backend not in spec.backends:
+            raise ConfigError(
+                f"method {self.method!r} has no backend {self.backend!r}; "
+                f"choose from {spec.backends}"
             )
 
     # ------------------------------------------------------------- derivation
@@ -125,6 +182,8 @@ class EngineConfig:
             "deduplicate": self.deduplicate,
             "bid_filtering": self.bid_filtering,
             "cache_size": self.cache_size,
+            "n_jobs": self.n_jobs,
+            "executor": self.executor,
         }
 
     @classmethod
@@ -138,10 +197,10 @@ class EngineConfig:
         similarity_payload = data.pop("similarity", {})
         unknown = set(data) - {f.name for f in dataclasses.fields(cls)}
         if unknown:
-            raise ValueError(f"unknown EngineConfig keys: {sorted(unknown)}")
+            raise ConfigError(f"unknown EngineConfig keys: {sorted(unknown)}")
         unknown_similarity = set(similarity_payload) - set(_SIMILARITY_DECODERS)
         if unknown_similarity:
-            raise ValueError(
+            raise ConfigError(
                 f"unknown EngineConfig similarity keys: {sorted(unknown_similarity)}"
             )
         similarity_kwargs = {

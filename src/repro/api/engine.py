@@ -157,7 +157,11 @@ class RewriteEngine:
         self.config = config or EngineConfig()
         self._bid_terms = set(bid_terms) if bid_terms is not None else None
         method = create(
-            self.config.method, config=self.config.similarity, backend=self.config.backend
+            self.config.method,
+            config=self.config.similarity,
+            backend=self.config.backend,
+            n_jobs=self.config.n_jobs,
+            executor=self.config.executor,
         )
         self._rewriter = QueryRewriter(
             method,
@@ -186,6 +190,10 @@ class RewriteEngine:
         self._precompute_universe: Optional[List[Node]] = None
         self._snapshot_iterations_run: Optional[int] = None
         self._snapshot_graph_fingerprint: Optional[Dict[str, int]] = None
+        #: Plan recorded in a loaded snapshot's manifest (the decision the
+        #: ``backend="auto"`` planner made for the snapshotted fit); live
+        #: fits read the plan off the method instead.
+        self._snapshot_plan = None
         #: Fit generation of the method at restore time; carried snapshot
         #: state is trusted only while the method still holds that fit.
         self._snapshot_state_generation: Optional[int] = None
@@ -236,6 +244,22 @@ class RewriteEngine:
     @property
     def is_fitted(self) -> bool:
         return self.method.is_fitted
+
+    @property
+    def plan_report(self):
+        """The ``backend="auto"`` planner's decision for the held fit.
+
+        A :class:`~repro.core.planner.PlanReport` when the engine's method
+        planned its last fit (``backend="auto"``), the plan restored from a
+        snapshot manifest on a revived engine, or ``None`` for fixed
+        backends and unfitted engines.
+        """
+        plan = getattr(self.method, "plan", None)
+        if plan is not None:
+            return plan
+        if self._snapshot_plan is not None and self._snapshot_state_fresh():
+            return self._snapshot_plan
+        return None
 
     def fit(
         self, graph: Optional[ClickGraph] = None, warm_start: bool = False
@@ -436,6 +460,7 @@ class RewriteEngine:
             else None
         )
         clone._snapshot_state_generation = self._snapshot_state_generation
+        clone._snapshot_plan = self._snapshot_plan
         clone._served_generation = self._served_generation
         return clone
 
@@ -455,6 +480,7 @@ class RewriteEngine:
         self._snapshot_iterations_run = None
         self._snapshot_graph_fingerprint = None
         self._snapshot_state_generation = None
+        self._snapshot_plan = None
         self._served_generation = getattr(self.method, "_fit_generation", None)
 
     # --------------------------------------------------------------- serving

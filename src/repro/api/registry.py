@@ -16,15 +16,19 @@ and the chosen backend name.  Decorating a
 is also supported; the class is instantiated with ``config=`` when its
 constructor accepts it.
 
-Four backends exist for the SimRank family: ``reference`` (node-pair
+Five backends exist for the SimRank family: ``reference`` (node-pair
 implementations faithful to the paper's equations, good for small graphs and
 traces), ``matrix`` (same fixpoint, dense linear algebra, used for
 experiments), ``sharded`` (same fixpoint computed per connected component on
 block-diagonal structures -- the fast choice for the disconnected click
-graphs of practice; see :mod:`repro.core.simrank_sharded`) and ``sparse``
+graphs of practice; see :mod:`repro.core.simrank_sharded`), ``sparse``
 (the fixpoint on ``scipy.sparse`` CSR matrices with optional epsilon/top-k
 pruning, whose cost tracks the nonzeros instead of ``n^2``; see
-:mod:`repro.core.simrank_sparse`).  Methods that do not distinguish backends
+:mod:`repro.core.simrank_sparse`) and ``auto`` (a planner that inspects the
+graph's component histogram, density and node count at fit time and runs
+whichever of the others the shape favours, recording its decision in an
+inspectable :class:`~repro.core.planner.PlanReport`; see
+:mod:`repro.core.planner`).  Methods that do not distinguish backends
 register the same factory under every name so callers never have to
 special-case them.
 """
@@ -39,6 +43,7 @@ from repro.core.baselines import CommonAdSimilarity, CosineSimilarity, JaccardSi
 from repro.core.config import SimrankConfig
 from repro.core.evidence_simrank import EvidenceSimrank
 from repro.core.pearson import PearsonSimilarity
+from repro.core.planner import AutoSimrank
 from repro.core.simrank import BipartiteSimrank
 from repro.core.simrank_matrix import MatrixSimrank
 from repro.core.simrank_sharded import ShardedSimrank
@@ -102,8 +107,9 @@ _REGISTRY: Dict[str, MethodSpec] = {}
 
 #: Backends of the SimRank family (and, for uniformity, the default set every
 #: backend-agnostic method registers under, so one ``--backend`` flag can be
-#: applied to a whole method lineup without special cases).
-SIMRANK_BACKENDS: Tuple[str, ...] = ("matrix", "reference", "sharded", "sparse")
+#: applied to a whole method lineup without special cases).  ``matrix`` stays
+#: first: it is the default backend of every method registered with this set.
+SIMRANK_BACKENDS: Tuple[str, ...] = ("matrix", "reference", "sharded", "sparse", "auto")
 
 
 def register_method(
@@ -213,6 +219,8 @@ def create(
     name: str,
     config: Optional[SimrankConfig] = None,
     backend: Optional[str] = None,
+    n_jobs: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> QuerySimilarityMethod:
     """Instantiate a registered similarity method by name.
 
@@ -226,6 +234,14 @@ def create(
     backend:
         One of :func:`available_backends` for the method; the method's default
         backend when omitted.
+    n_jobs:
+        Worker count for parallel shard fits (positive, or ``-1`` for all
+        available CPUs).  Forwarded only to factories whose signature
+        declares it, so pre-existing ``(config, backend)`` factories keep
+        working unchanged; other methods ignore it.
+    executor:
+        Pool flavour (``"thread"``/``"process"``/``"auto"``) for parallel
+        shard fits; forwarded like ``n_jobs``.
     """
     spec = method_spec(name)
     chosen = backend or spec.default_backend
@@ -233,7 +249,18 @@ def create(
         raise UnknownBackendError(
             f"method {name!r} has no backend {chosen!r}; choose from {spec.backends}"
         )
-    return spec.factory(config or SimrankConfig(), chosen)
+    extras = {}
+    if n_jobs is not None or executor is not None:
+        parameters = inspect.signature(spec.factory).parameters
+        accepts_kwargs = any(
+            parameter.kind is inspect.Parameter.VAR_KEYWORD
+            for parameter in parameters.values()
+        )
+        if n_jobs is not None and ("n_jobs" in parameters or accepts_kwargs):
+            extras["n_jobs"] = n_jobs
+        if executor is not None and ("executor" in parameters or accepts_kwargs):
+            extras["executor"] = executor
+    return spec.factory(config or SimrankConfig(), chosen, **extras)
 
 
 # --------------------------------------------------------------------------
@@ -246,37 +273,47 @@ def _build_pearson(config: SimrankConfig, backend: str) -> QuerySimilarityMethod
     return PearsonSimilarity(source=config.weight_source)
 
 
-@register_method("simrank", description="Plain bipartite SimRank (Section 4)")
-def _build_simrank(config: SimrankConfig, backend: str) -> QuerySimilarityMethod:
+def _build_simrank_family(
+    mode: str, reference_cls, config: SimrankConfig, backend: str,
+    n_jobs: int, executor: str,
+) -> QuerySimilarityMethod:
+    """One dispatch for the three SimRank modes (they share every backend)."""
     if backend == "reference":
-        return BipartiteSimrank(config=config)
+        return reference_cls(config=config)
     if backend == "sharded":
-        return ShardedSimrank(config=config, mode="simrank")
+        return ShardedSimrank(config=config, mode=mode, n_jobs=n_jobs, executor=executor)
     if backend == "sparse":
-        return SparseSimrank(config=config, mode="simrank")
-    return MatrixSimrank(config=config, mode="simrank")
+        return SparseSimrank(config=config, mode=mode)
+    if backend == "auto":
+        return AutoSimrank(config=config, mode=mode, n_jobs=n_jobs, executor=executor)
+    return MatrixSimrank(config=config, mode=mode)
+
+
+@register_method("simrank", description="Plain bipartite SimRank (Section 4)")
+def _build_simrank(
+    config: SimrankConfig, backend: str, n_jobs: int = 1, executor: str = "auto"
+) -> QuerySimilarityMethod:
+    return _build_simrank_family(
+        "simrank", BipartiteSimrank, config, backend, n_jobs, executor
+    )
 
 
 @register_method("evidence_simrank", description="Evidence-based SimRank (Section 7)")
-def _build_evidence_simrank(config: SimrankConfig, backend: str) -> QuerySimilarityMethod:
-    if backend == "reference":
-        return EvidenceSimrank(config=config)
-    if backend == "sharded":
-        return ShardedSimrank(config=config, mode="evidence")
-    if backend == "sparse":
-        return SparseSimrank(config=config, mode="evidence")
-    return MatrixSimrank(config=config, mode="evidence")
+def _build_evidence_simrank(
+    config: SimrankConfig, backend: str, n_jobs: int = 1, executor: str = "auto"
+) -> QuerySimilarityMethod:
+    return _build_simrank_family(
+        "evidence", EvidenceSimrank, config, backend, n_jobs, executor
+    )
 
 
 @register_method("weighted_simrank", description="Weighted SimRank / Simrank++ (Section 8)")
-def _build_weighted_simrank(config: SimrankConfig, backend: str) -> QuerySimilarityMethod:
-    if backend == "reference":
-        return WeightedSimrank(config=config)
-    if backend == "sharded":
-        return ShardedSimrank(config=config, mode="weighted")
-    if backend == "sparse":
-        return SparseSimrank(config=config, mode="weighted")
-    return MatrixSimrank(config=config, mode="weighted")
+def _build_weighted_simrank(
+    config: SimrankConfig, backend: str, n_jobs: int = 1, executor: str = "auto"
+) -> QuerySimilarityMethod:
+    return _build_simrank_family(
+        "weighted", WeightedSimrank, config, backend, n_jobs, executor
+    )
 
 
 @register_method("common_ads", description="Naive common-ad counting (Table 1)")

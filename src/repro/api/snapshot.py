@@ -118,6 +118,12 @@ def _iterations_run(engine):
     return getattr(engine, "_snapshot_iterations_run", None)
 
 
+def _plan_dict(engine):
+    """The engine's ``backend="auto"`` plan as manifest JSON (None without one)."""
+    plan = getattr(engine, "plan_report", None)
+    return plan.to_dict() if plan is not None else None
+
+
 def _pid_is_alive(pid: int) -> bool:
     """Best-effort liveness probe; conservative (alive) when unknowable.
 
@@ -209,6 +215,9 @@ def write_snapshot(engine, path: PathLike) -> Path:
             # Coarse shape of the fitted graph: callers can compare it
             # against a candidate dataset to detect stale snapshots cheaply.
             "graph": fingerprint,
+            # The backend="auto" planner's decision for this fit (None for
+            # fixed backends), so "why did auto do that?" survives restarts.
+            "plan": _plan_dict(engine),
         },
     }
     # Sweep staging debris of earlier *crashed* saves of this name: dotted
@@ -378,6 +387,16 @@ def read_snapshot(path: PathLike, engine_cls=None):
     engine._snapshot_iterations_run = iterations_run
     if iterations_run is not None and hasattr(engine.method, "iterations_run"):
         engine.method.iterations_run = iterations_run
+    plan_payload = fit_metadata.get("plan")
+    if plan_payload is not None:
+        from repro.core.planner import PlanReport
+
+        try:
+            engine._snapshot_plan = PlanReport.from_dict(plan_payload)
+        except (KeyError, TypeError, ValueError):
+            # The plan is advisory metadata; a malformed entry (hand-edited
+            # manifest) must not block reviving an otherwise good snapshot.
+            engine._snapshot_plan = None
     return engine
 
 

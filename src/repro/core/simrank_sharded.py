@@ -28,17 +28,29 @@ entirely; ``query_similarity`` still returns 1 for the self-pair and 0
 elsewhere via the sparse score container.
 
 Per-component fits are independent, so they can run on a worker pool:
-``n_jobs > 1`` fits components on that many threads (numpy releases the GIL
-inside the matrix products), ``n_jobs=-1`` uses one thread per CPU.
+``n_jobs > 1`` fits components on that many workers, ``n_jobs=-1`` uses one
+worker per *available* CPU (affinity-aware, see
+:func:`repro.core.parallel.available_cpu_count`).  The pool flavour is the
+``executor``: ``"thread"`` shares the interpreter (cheap to start, but
+GIL-bound outside numpy's released-GIL regions), ``"process"`` fits shard
+batches in worker processes for true multi-core scaling (picklable payloads,
+warm-start seeds shipped per shard, batches balanced by estimated cost), and
+``"auto"`` -- the default -- picks processes only when the estimated work
+clearly exceeds the fork/pickle overhead.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Hashable, List, Optional
+from concurrent.futures import (
+    FIRST_EXCEPTION,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.core.config import SimrankConfig
+from repro.core.parallel import chunk_balanced, pick_executor, resolve_worker_count
 from repro.core.scores_array import ArraySimilarityScores
 from repro.core.similarity_base import QuerySimilarityMethod
 from repro.core.simrank_matrix import MatrixSimrank
@@ -52,7 +64,9 @@ Node = Hashable
 
 _MODES = ("simrank", "evidence", "weighted")
 
-_INNER_BACKENDS = ("matrix", "sparse")
+_INNER_BACKENDS = ("matrix", "sparse", "auto")
+
+_EXECUTORS = ("thread", "process", "auto")
 
 
 class ShardedSimrank(QuerySimilarityMethod):
@@ -71,6 +85,7 @@ class ShardedSimrank(QuerySimilarityMethod):
         min_score: float = 1e-9,
         n_jobs: int = 1,
         inner_backend: str = "matrix",
+        executor: str = "auto",
     ) -> None:
         super().__init__()
         if mode not in _MODES:
@@ -81,14 +96,20 @@ class ShardedSimrank(QuerySimilarityMethod):
             raise ValueError(
                 f"inner_backend must be one of {_INNER_BACKENDS}, got {inner_backend!r}"
             )
+        if executor not in _EXECUTORS:
+            raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
         self.config = config or SimrankConfig()
         self.mode = mode
         self.min_score = min_score
         self.n_jobs = n_jobs
-        #: Which engine fits each component: dense ``"matrix"`` blocks, or
+        #: Which engine fits each component: dense ``"matrix"`` blocks,
         #: ``"sparse"`` pruned CSR fixpoints (sharded + sparse composes the
-        #: two backends' savings on large disconnected graphs).
+        #: two backends' savings on large disconnected graphs), or ``"auto"``
+        #: to let the planner pick dense/sparse per shard from its size.
         self.inner_backend = inner_backend
+        #: Pool flavour for parallel shard fits; ``"auto"`` picks processes
+        #: only when the estimated work amortises the fork/pickle overhead.
+        self.executor = executor
         # Report under the same name as the dense and reference engines so
         # experiment tables stay comparable across backends.
         self.name = {
@@ -110,6 +131,37 @@ class ShardedSimrank(QuerySimilarityMethod):
     # -------------------------------------------------------------- fit path
 
     def _compute_query_scores(self, graph: ClickGraph) -> ArraySimilarityScores:
+        # A shard fit that raises must not leave the method half-updated:
+        # `reused_shards` and the shard tables are mutated below *before*
+        # the fits run, so on any failure the pre-fit values are restored
+        # wholesale.  Combined with the base class's build-then-publish
+        # contract for `_query_scores`, a failed fit leaves the method
+        # exactly as it was -- cleanly unfitted on a first fit, or still
+        # serving the previous fit on a refit.
+        prior_state = (
+            self.warm_started,
+            self.reused_shards,
+            self.refitted_shards,
+            self._shard_graphs,
+            self._shard_methods,
+            self._query_shard,
+            self._ad_shard,
+        )
+        try:
+            return self._compute_and_stitch(graph)
+        except BaseException:
+            (
+                self.warm_started,
+                self.reused_shards,
+                self.refitted_shards,
+                self._shard_graphs,
+                self._shard_methods,
+                self._query_shard,
+                self._ad_shard,
+            ) = prior_state
+            raise
+
+    def _compute_and_stitch(self, graph: ClickGraph) -> ArraySimilarityScores:
         seed = self._warm_start_scores
         self.warm_started = seed is not None
         previous_graphs = self._shard_graphs or []
@@ -175,46 +227,129 @@ class ShardedSimrank(QuerySimilarityMethod):
             method.similarities() for method in self._shard_methods
         )
 
-    def _build_inner(self) -> QuerySimilarityMethod:
-        if self.inner_backend == "sparse":
-            # Honour both thresholds: the sharded storage cutoff and the
-            # config's truncation epsilon (whichever is stricter).
-            return SparseSimrank(
-                config=self.config,
-                mode=self.mode,
-                min_score=max(self.min_score, self.config.prune_threshold),
-            )
-        return MatrixSimrank(config=self.config, mode=self.mode, min_score=self.min_score)
+    def _inner_kind(self, subgraph: ClickGraph) -> str:
+        """Concrete inner engine ("matrix"/"sparse") for one component."""
+        if self.inner_backend != "auto":
+            return self.inner_backend
+        from repro.core.planner import choose_component_backend
+
+        return choose_component_backend(subgraph.num_nodes, subgraph.num_edges)
+
+    def shard_backends(self) -> List[str]:
+        """Concrete inner backend fitted per shard, aligned with shard ids."""
+        self._require_fitted()
+        methods = self._require_fit_extra(self._shard_methods, "shard decomposition")
+        return [
+            "sparse" if isinstance(method, SparseSimrank) else "matrix"
+            for method in methods
+        ]
+
+    def _build_inner(self, subgraph: ClickGraph) -> QuerySimilarityMethod:
+        return _build_inner_engine(
+            self._inner_kind(subgraph), self.config, self.mode, self.min_score
+        )
 
     def _fit_shards(
         self, subgraphs: List[ClickGraph], seeds: Optional[List] = None
     ) -> List[QuerySimilarityMethod]:
-        """Fit one inner engine per component, serially or on a thread pool.
+        """Fit one inner engine per component, serially or on a worker pool.
 
         ``seeds`` optionally aligns one warm-start seed with each subgraph
-        (already restricted to that component by :func:`_split_seed`).
+        (already restricted to that component by :func:`_split_seed`).  A
+        failing shard fit cancels the outstanding shard fits and re-raises
+        the first error in submission order; the caller restores the
+        pre-fit state.
         """
         if seeds is None:
             seeds = [None] * len(subgraphs)
-        methods = [self._build_inner() for _ in subgraphs]
+        methods = [self._build_inner(subgraph) for subgraph in subgraphs]
         workers = self._resolve_jobs(len(subgraphs))
         if workers <= 1 or len(subgraphs) <= 1:
             for method, subgraph, seed in zip(methods, subgraphs, seeds):
                 method.fit(subgraph, initial_scores=seed)
             return methods
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            list(
-                pool.map(
-                    lambda job: job[0].fit(job[1], initial_scores=job[2]),
-                    zip(methods, subgraphs, seeds),
-                )
-            )
+        if self._resolve_executor(subgraphs, workers) == "process":
+            return self._fit_shards_process(methods, subgraphs, seeds, workers)
+        return self._fit_shards_thread(methods, subgraphs, seeds, workers)
+
+    def _fit_shards_thread(
+        self,
+        methods: List[QuerySimilarityMethod],
+        subgraphs: List[ClickGraph],
+        seeds: List,
+        workers: int,
+    ) -> List[QuerySimilarityMethod]:
+        pool = ThreadPoolExecutor(max_workers=workers)
+        try:
+            futures = [
+                pool.submit(method.fit, subgraph, initial_scores=seed)
+                for method, subgraph, seed in zip(methods, subgraphs, seeds)
+            ]
+            # Stop at the first failure instead of draining the whole map:
+            # queued sibling fits are cancelled, running ones are joined
+            # (threads cannot be interrupted mid-fit).
+            pending = wait(futures, return_when=FIRST_EXCEPTION)[1]
+            for future in pending:
+                future.cancel()
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        _raise_first_error(futures)
         return methods
 
+    def _fit_shards_process(
+        self,
+        methods: List[QuerySimilarityMethod],
+        subgraphs: List[ClickGraph],
+        seeds: List,
+        workers: int,
+    ) -> List[QuerySimilarityMethod]:
+        """Fit shard batches in worker processes and collect the fitted engines.
+
+        Shards are packed into at most ``workers`` cost-balanced batches
+        (one pickled payload per batch amortises IPC) and each worker
+        rebuilds, fits and returns its engines; per-shard warm-start seeds
+        travel inside the payload.  The fitted engines replace the local
+        placeholders, so callers observe exactly the serial result.
+        """
+        kinds = [
+            "sparse" if isinstance(method, SparseSimrank) else "matrix"
+            for method in methods
+        ]
+        costs = [
+            _estimate_shard_cost(kind, subgraph)
+            for kind, subgraph in zip(kinds, subgraphs)
+        ]
+        chunks = chunk_balanced(costs, workers)
+        batches = [
+            [
+                (kinds[i], self.config, self.mode, self.min_score, subgraphs[i], seeds[i])
+                for i in chunk
+            ]
+            for chunk in chunks
+        ]
+        pool = ProcessPoolExecutor(max_workers=len(batches))
+        try:
+            futures = [pool.submit(_fit_shard_batch, batch) for batch in batches]
+            pending = wait(futures, return_when=FIRST_EXCEPTION)[1]
+            for future in pending:
+                future.cancel()
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        _raise_first_error(futures)
+        for chunk, future in zip(chunks, futures):
+            for shard_id, fitted in zip(chunk, future.result()):
+                methods[shard_id] = fitted
+        return methods
+
+    def _resolve_executor(self, subgraphs: List[ClickGraph], workers: int) -> str:
+        if self.executor != "auto":
+            return self.executor
+        return pick_executor([subgraph.num_nodes for subgraph in subgraphs], workers)
+
     def _resolve_jobs(self, num_shards: int) -> int:
-        if self.n_jobs == -1:
-            return min(os.cpu_count() or 1, max(num_shards, 1))
-        return min(self.n_jobs, max(num_shards, 1))
+        # Affinity-aware: n_jobs=-1 sizes from the CPUs this process may
+        # actually run on, not the machine's total core count.
+        return resolve_worker_count(self.n_jobs, num_shards)
 
     # ---------------------------------------------------------------- access
 
@@ -268,6 +403,61 @@ class ShardedSimrank(QuerySimilarityMethod):
         if shard is None or shard != ad_shard.get(second):
             return 0.0
         return self._shard_methods[shard].ad_similarity(first, second)
+
+
+def _build_inner_engine(
+    kind: str, config: SimrankConfig, mode: str, min_score: float
+) -> QuerySimilarityMethod:
+    """Construct one concrete inner engine (shared with process workers)."""
+    if kind == "sparse":
+        # Honour both thresholds: the sharded storage cutoff and the
+        # config's truncation epsilon (whichever is stricter).
+        return SparseSimrank(
+            config=config,
+            mode=mode,
+            min_score=max(min_score, config.prune_threshold),
+        )
+    return MatrixSimrank(config=config, mode=mode, min_score=min_score)
+
+
+def _fit_shard_batch(batch: List[Tuple]) -> List[QuerySimilarityMethod]:
+    """Process-pool worker: rebuild, fit and return one batch of inner engines.
+
+    Module-level (and fed only picklable payloads) so it can cross the
+    process boundary: each payload is ``(kind, config, mode, min_score,
+    subgraph, seed)`` and the fitted engines -- graph, scores and all --
+    are pickled back to the parent, where they serve exactly like
+    thread-fitted ones.
+    """
+    fitted = []
+    for kind, config, mode, min_score, subgraph, seed in batch:
+        method = _build_inner_engine(kind, config, mode, min_score)
+        method.fit(subgraph, initial_scores=seed)
+        fitted.append(method)
+    return fitted
+
+
+def _estimate_shard_cost(kind: str, subgraph: ClickGraph) -> float:
+    """Relative cost estimate used to balance shard batches across workers.
+
+    The dense engine's per-iteration cost scales with ``n^3`` (full matrix
+    products); the sparse engine's tracks the nonzero structure, for which
+    ``edges * nodes`` is a serviceable proxy.  Only the *ratios* matter.
+    """
+    nodes = float(subgraph.num_nodes)
+    if kind == "sparse":
+        return max(float(subgraph.num_edges) * nodes, 1.0)
+    return max(nodes**3, 1.0)
+
+
+def _raise_first_error(futures) -> None:
+    """Re-raise the first (submission-order) error of a completed pool run."""
+    for future in futures:
+        if future.cancelled():
+            continue
+        error = future.exception()
+        if error is not None:
+            raise error
 
 
 def _single_previous_shard(

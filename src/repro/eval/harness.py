@@ -18,9 +18,13 @@ synthetic workload:
 
 Every step resolves similarity methods through the registry, so the
 ``backend`` knob accepts any registered SimRank backend (``matrix``,
-``reference``, ``sharded``, ``sparse``); the ``sparse`` backend's pruning is
-configured on the :class:`~repro.core.config.SimrankConfig` passed in
-(``prune_threshold`` / ``prune_top_k``).
+``reference``, ``sharded``, ``sparse``, ``auto``); the ``sparse`` backend's
+pruning is configured on the :class:`~repro.core.config.SimrankConfig` passed
+in (``prune_threshold`` / ``prune_top_k``).  With ``backend="auto"`` the
+planner's decision per method is collected in
+``EvaluationResult.plan_reports`` (and printed by the CLI); ``n_jobs`` /
+``executor`` control the parallel fitting tier of the sharded and auto
+backends.
 """
 
 from __future__ import annotations
@@ -35,6 +39,7 @@ from repro.api.engine import RewriteEngine
 from repro.api.registry import PAPER_METHODS, create
 from repro.api.snapshot import EngineSnapshotStore, SnapshotError, graph_fingerprint
 from repro.core.config import SimrankConfig
+from repro.core.planner import PlanReport
 from repro.core.rewriter import RewriteList
 from repro.eval.coverage import coverage_percentage, depth_distribution
 from repro.eval.desirability import DesirabilityResult, run_desirability_experiment
@@ -92,6 +97,9 @@ class EvaluationResult:
     evaluation_queries: List[Node]
     methods: Dict[str, MethodEvaluation]
     desirability: Dict[str, DesirabilityResult] = field(default_factory=dict)
+    #: method name -> the backend="auto" planner's decision for its fit
+    #: (empty for fixed backends and snapshot loads without a recorded plan).
+    plan_reports: Dict[str, "PlanReport"] = field(default_factory=dict)
 
     def dataset_statistics(self) -> List[DatasetStatistics]:
         """Per-subgraph statistics (the rows of Table 5)."""
@@ -134,6 +142,8 @@ class ExperimentHarness:
         config: Optional[SimrankConfig] = None,
         methods: Sequence[str] = PAPER_METHODS,
         backend: str = "matrix",
+        n_jobs: int = 1,
+        executor: str = "auto",
         num_subgraphs: int = 5,
         use_partitioning: bool = True,
         traffic_sample_size: int = 1200,
@@ -155,6 +165,8 @@ class ExperimentHarness:
         self.config = config or SimrankConfig(iterations=7, zero_evidence_floor=0.1)
         self.methods = list(methods)
         self.backend = backend
+        self.n_jobs = n_jobs
+        self.executor = executor
         self.num_subgraphs = num_subgraphs
         self.use_partitioning = use_partitioning
         self.traffic_sample_size = traffic_sample_size
@@ -191,8 +203,12 @@ class ExperimentHarness:
         judge = EditorialJudge(self.workload)
 
         rewrites_per_method: Dict[str, Dict[Node, RewriteList]] = {}
+        plan_reports: Dict[str, "PlanReport"] = {}
         for method_name in self.methods:
             engine = self._fitted_engine(method_name, dataset)
+            plan = engine.plan_report
+            if plan is not None:
+                plan_reports[method_name] = plan
             rewrites_per_method[method_name] = {
                 query: rewrite_list
                 for query, rewrite_list in zip(
@@ -219,6 +235,7 @@ class ExperimentHarness:
             evaluation_queries=evaluation_queries,
             methods=evaluations,
             desirability=desirability,
+            plan_reports=plan_reports,
         )
 
     # ----------------------------------------------------------- preparation
@@ -372,6 +389,8 @@ class ExperimentHarness:
             similarity=self.config,
             max_rewrites=self.max_rewrites,
             candidate_pool=self.candidate_pool,
+            n_jobs=self.n_jobs,
+            executor=self.executor,
         )
 
     def _bid_terms(self) -> frozenset:

@@ -71,6 +71,25 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help=(
+            "sharded/auto backends: workers for parallel per-component fits "
+            "(-1 = one per available CPU, affinity-aware)"
+        ),
+    )
+    parser.add_argument(
+        "--executor",
+        default="auto",
+        choices=["thread", "process", "auto"],
+        help=(
+            "pool flavour for parallel fits: thread (GIL-bound), process "
+            "(true multi-core), or auto (processes only when the work "
+            "amortises the fork/pickle overhead)"
+        ),
+    )
+    parser.add_argument(
         "--prune-threshold",
         type=float,
         default=0.0,
@@ -176,6 +195,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         desirability_cases=args.desirability_cases,
         seed=args.seed,
         backend=args.backend,
+        n_jobs=args.n_jobs,
+        executor=args.executor,
         save_engines_to=args.save_engine,
         load_engines_from=args.load_engine,
         refresh_engines_from=args.refresh_from,
@@ -189,6 +210,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error(str(exc))
             return 2
     print(output)
+    if args.backend == "auto" and experiments._result is not None:
+        # Surface the planner's decisions for the harness-backed experiments
+        # (tables 1-4/6 never fit an engine, so there is nothing to report).
+        plans = experiments._result.plan_reports
+        if plans:
+            print()
+            print("Backend plans (--backend auto):")
+            for method_name, plan in plans.items():
+                print(f"  {method_name}: {plan.summary()}")
     return 0
 
 

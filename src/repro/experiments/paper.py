@@ -222,6 +222,10 @@ class PaperExperiments:
     desirability_cases: int = 50
     seed: int = 29
     backend: str = "matrix"
+    #: Parallel-fitting knobs of the sharded/auto backends: worker count
+    #: (-1 = all available CPUs) and pool flavour (thread/process/auto).
+    n_jobs: int = 1
+    executor: str = "auto"
     #: Engine-snapshot directories (offline -> online split): fitted engines
     #: are saved under ``save_engines_to`` and revived from
     #: ``load_engines_from`` instead of refitting; see ExperimentHarness.
@@ -242,6 +246,8 @@ class PaperExperiments:
                 desirability_cases=self.desirability_cases,
                 seed=self.seed,
                 backend=self.backend,
+                n_jobs=self.n_jobs,
+                executor=self.executor,
                 save_engines_to=self.save_engines_to,
                 load_engines_from=self.load_engines_from,
                 refresh_engines_from=self.refresh_engines_from,

@@ -103,8 +103,11 @@ def build_serve_parser() -> argparse.ArgumentParser:
     net.add_argument(
         "--concurrency",
         type=int,
-        default=4,
-        help="micro-batches allowed in executor threads at once",
+        default=None,
+        help=(
+            "micro-batches allowed in executor threads at once "
+            "(default: sized to the CPUs available to this process)"
+        ),
     )
     net.add_argument(
         "--queue-size",

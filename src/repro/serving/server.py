@@ -55,6 +55,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.api.engine import RewriteEngine
+from repro.core.parallel import available_cpu_count
 from repro.core.rewriter import RewriteList
 from repro.graph.click_graph import EdgeStats
 from repro.graph.delta import ClickGraphDelta
@@ -89,7 +90,10 @@ class ServerConfig:
         already queued without waiting (lowest latency, smallest batches).
     max_concurrency:
         Micro-batches allowed in executor threads at once (the semaphore
-        bound); also sizes the serving thread pool.
+        bound); also sizes the serving thread pool.  ``None`` (the default)
+        sizes the pool to the CPUs actually *available* to this process
+        (cgroup/affinity-aware, never below 2), so containers pinned to a
+        CPU subset are not oversubscribed.
     queue_size:
         Bound of the request queue; requests beyond it are rejected with
         HTTP 503 instead of growing an unbounded backlog.
@@ -107,7 +111,7 @@ class ServerConfig:
     port: int = 0
     max_batch_size: int = 32
     batch_linger_ms: float = 1.0
-    max_concurrency: int = 4
+    max_concurrency: Optional[int] = None
     queue_size: int = 1024
     drain_timeout_s: float = 10.0
     max_request_bytes: int = 1 << 20
@@ -118,7 +122,7 @@ class ServerConfig:
             raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
         if self.batch_linger_ms < 0:
             raise ValueError(f"batch_linger_ms must be >= 0, got {self.batch_linger_ms}")
-        if self.max_concurrency < 1:
+        if self.max_concurrency is not None and self.max_concurrency < 1:
             raise ValueError(f"max_concurrency must be >= 1, got {self.max_concurrency}")
         if self.queue_size < 1:
             raise ValueError(f"queue_size must be >= 1, got {self.queue_size}")
@@ -126,6 +130,12 @@ class ServerConfig:
             raise ValueError(f"drain_timeout_s must be >= 0, got {self.drain_timeout_s}")
         if self.latency_window < 1:
             raise ValueError(f"latency_window must be >= 1, got {self.latency_window}")
+
+    def resolved_concurrency(self) -> int:
+        """The effective pool size: explicit, else sized from available CPUs."""
+        if self.max_concurrency is not None:
+            return self.max_concurrency
+        return max(2, available_cpu_count())
 
 
 # --------------------------------------------------------------- wire format
@@ -326,9 +336,10 @@ class RewriteServer:
             raise RuntimeError("server already started")
         self._loop = asyncio.get_running_loop()
         self._queue = asyncio.Queue(maxsize=self._config.queue_size)
-        self._semaphore = asyncio.Semaphore(self._config.max_concurrency)
+        concurrency = self._config.resolved_concurrency()
+        self._semaphore = asyncio.Semaphore(concurrency)
         self._serve_executor = ThreadPoolExecutor(
-            max_workers=self._config.max_concurrency,
+            max_workers=concurrency,
             thread_name_prefix="repro-serve",
         )
         # Refresh/reload get their own single worker: a long refit must not

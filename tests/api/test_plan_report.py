@@ -1,0 +1,75 @@
+"""The auto planner's PlanReport surfaced through the engine and snapshots."""
+
+import json
+
+import pytest
+
+from repro.api.config import EngineConfig
+from repro.api.engine import RewriteEngine
+from repro.api.snapshot import read_snapshot, write_snapshot
+from repro.core.config import SimrankConfig
+from repro.synth.scenarios import multi_component_graph
+
+
+@pytest.fixture
+def auto_engine():
+    graph = multi_component_graph(num_components=4, seed=17)
+    config = EngineConfig(
+        method="simrank",
+        backend="auto",
+        similarity=SimrankConfig(iterations=5),
+    )
+    return RewriteEngine.from_graph(graph, config).fit()
+
+
+class TestEnginePlanReport:
+    def test_fitted_auto_engine_exposes_its_plan(self, auto_engine):
+        plan = auto_engine.plan_report
+        assert plan is not None
+        assert plan.strategy == "sharded"
+        assert plan.profile.num_components == 4
+
+    def test_fixed_backends_report_no_plan(self, small_weighted_graph):
+        engine = RewriteEngine.from_graph(
+            small_weighted_graph, EngineConfig(method="simrank", backend="matrix")
+        ).fit()
+        assert engine.plan_report is None
+
+    def test_unfitted_engine_reports_no_plan(self):
+        assert RewriteEngine(EngineConfig(backend="auto")).plan_report is None
+
+
+class TestSnapshotPlanPersistence:
+    def test_plan_survives_a_snapshot_round_trip(self, auto_engine, tmp_path):
+        path = tmp_path / "snap"
+        write_snapshot(auto_engine, path)
+        loaded = read_snapshot(path)
+        assert loaded.plan_report == auto_engine.plan_report
+
+    def test_manifest_records_the_plan(self, auto_engine, tmp_path):
+        path = tmp_path / "snap"
+        write_snapshot(auto_engine, path)
+        manifest = json.loads((path / "manifest.json").read_text())
+        assert manifest["fit"]["plan"]["strategy"] == "sharded"
+
+    def test_fixed_backend_manifests_record_no_plan(self, small_weighted_graph, tmp_path):
+        engine = RewriteEngine.from_graph(
+            small_weighted_graph, EngineConfig(method="simrank", backend="matrix")
+        ).fit()
+        path = tmp_path / "snap"
+        write_snapshot(engine, path)
+        manifest = json.loads((path / "manifest.json").read_text())
+        assert manifest["fit"]["plan"] is None
+        assert read_snapshot(path).plan_report is None
+
+    def test_malformed_plan_metadata_never_blocks_a_load(self, auto_engine, tmp_path):
+        """The plan is advisory: a corrupt entry degrades to None, not an error."""
+        path = tmp_path / "snap"
+        write_snapshot(auto_engine, path)
+        manifest_path = path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["fit"]["plan"] = {"strategy": "sharded"}  # missing every field
+        manifest_path.write_text(json.dumps(manifest))
+        loaded = read_snapshot(path)
+        assert loaded.plan_report is None
+        assert loaded.rewrite("c0_q0").covered

@@ -61,7 +61,13 @@ class TestBuiltins:
 
     def test_simrank_family_has_all_backends(self):
         for name in ("simrank", "evidence_simrank", "weighted_simrank"):
-            assert available_backends(name) == ("matrix", "reference", "sharded", "sparse")
+            assert available_backends(name) == (
+                "matrix",
+                "reference",
+                "sharded",
+                "sparse",
+                "auto",
+            )
 
     def test_specs_carry_descriptions(self):
         for name in available_methods():

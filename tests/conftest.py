@@ -1,6 +1,13 @@
-"""Shared fixtures: the paper's sample graphs and a tiny synthetic workload."""
+"""Shared fixtures: the paper's sample graphs and a tiny synthetic workload.
+
+Also provides a dependency-free ``@pytest.mark.timeout(seconds)`` marker
+(SIGALRM-based) so process-pool tests cannot hang the suite on a stuck
+worker; on platforms without SIGALRM the marker is a no-op.
+"""
 
 from __future__ import annotations
+
+import signal
 
 import pytest
 
@@ -67,3 +74,31 @@ def small_weighted_graph() -> ClickGraph:
     for query, ad, impressions, clicks, ecr in edges:
         graph.add_edge(query, ad, impressions=impressions, clicks=clicks, expected_click_rate=ecr)
     return graph
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): fail the test if it runs longer than this "
+        "(SIGALRM-based; no-op where SIGALRM is unavailable)",
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    marker = item.get_closest_marker("timeout")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    seconds = int(marker.args[0]) if marker.args else 60
+
+    def _expired(signum, frame):
+        raise TimeoutError(f"test exceeded the {seconds}s timeout marker")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

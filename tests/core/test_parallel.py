@@ -1,0 +1,94 @@
+"""Unit tests of the shared worker-pool sizing and chunking helpers."""
+
+import pytest
+
+from repro.core import parallel
+from repro.core.parallel import (
+    PROCESS_WORK_THRESHOLD,
+    available_cpu_count,
+    chunk_balanced,
+    pick_executor,
+    resolve_worker_count,
+)
+
+
+class TestAvailableCpuCount:
+    def test_prefers_affinity_mask_over_cpu_count(self, monkeypatch):
+        """The cgroup/affinity restriction must win over the machine total."""
+        monkeypatch.setattr(parallel.os, "sched_getaffinity", lambda pid: {0, 3}, raising=False)
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 64)
+        assert available_cpu_count() == 2
+
+    def test_falls_back_to_cpu_count_without_affinity(self, monkeypatch):
+        monkeypatch.delattr(parallel.os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 6)
+        assert available_cpu_count() == 6
+
+    def test_never_below_one(self, monkeypatch):
+        monkeypatch.delattr(parallel.os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: None)
+        assert available_cpu_count() == 1
+
+    def test_matches_current_process_affinity(self):
+        assert available_cpu_count() >= 1
+
+
+class TestResolveWorkerCount:
+    def test_positive_request_honoured_up_to_task_count(self):
+        assert resolve_worker_count(3, num_tasks=10) == 3
+        assert resolve_worker_count(10, num_tasks=3) == 3
+
+    def test_minus_one_sizes_from_affinity(self, monkeypatch):
+        """Regression: n_jobs=-1 used os.cpu_count() and oversubscribed."""
+        monkeypatch.setattr(parallel.os, "sched_getaffinity", lambda pid: {0, 1}, raising=False)
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 128)
+        assert resolve_worker_count(-1, num_tasks=50) == 2
+
+    def test_never_below_one(self):
+        assert resolve_worker_count(4, num_tasks=0) == 1
+
+    @pytest.mark.parametrize("n_jobs", [0, -2, -100])
+    def test_invalid_n_jobs_rejected(self, n_jobs):
+        with pytest.raises(ValueError):
+            resolve_worker_count(n_jobs, num_tasks=4)
+
+
+class TestChunkBalanced:
+    def test_partitions_every_index_exactly_once(self):
+        costs = [5.0, 1.0, 3.0, 2.0, 4.0, 6.0]
+        chunks = chunk_balanced(costs, 3)
+        flattened = sorted(index for chunk in chunks for index in chunk)
+        assert flattened == list(range(len(costs)))
+        assert len(chunks) == 3
+
+    def test_balances_loads_greedily(self):
+        """One huge task must not share a batch with everything else."""
+        costs = [100.0, 1.0, 1.0, 1.0]
+        chunks = chunk_balanced(costs, 2)
+        loads = sorted(sum(costs[i] for i in chunk) for chunk in chunks)
+        assert loads == [3.0, 100.0]
+
+    def test_more_chunks_than_tasks_drops_empties(self):
+        chunks = chunk_balanced([1.0, 2.0], 8)
+        assert len(chunks) == 2
+        assert sorted(index for chunk in chunks for index in chunk) == [0, 1]
+
+    def test_empty_costs(self):
+        assert chunk_balanced([], 4) == []
+
+    def test_invalid_chunk_count(self):
+        with pytest.raises(ValueError):
+            chunk_balanced([1.0], 0)
+
+
+class TestPickExecutor:
+    def test_threads_for_single_worker_or_single_task(self):
+        assert pick_executor([10_000, 10_000], workers=1) == "thread"
+        assert pick_executor([10_000], workers=4) == "thread"
+
+    def test_threads_below_work_threshold(self):
+        assert pick_executor([10, 20, 30], workers=4) == "thread"
+
+    def test_processes_once_work_amortises_the_overhead(self):
+        big = int(PROCESS_WORK_THRESHOLD**0.5) + 1
+        assert pick_executor([big, big], workers=4) == "process"

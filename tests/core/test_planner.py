@@ -1,0 +1,165 @@
+"""Unit tests of the ``backend="auto"`` planner and its delegating method."""
+
+import pytest
+
+from repro.core.config import SimrankConfig
+from repro.core.planner import (
+    DENSE_DENSITY_CEILING,
+    SPARSE_NODE_THRESHOLD,
+    AutoSimrank,
+    PlanReport,
+    choose_component_backend,
+    plan_fit,
+    profile_graph,
+)
+from repro.core.simrank_matrix import MatrixSimrank
+from repro.graph.click_graph import ClickGraph
+from repro.synth.scenarios import figure3_graph, multi_component_graph
+
+
+def _add_chain(graph: ClickGraph, pairs: int, prefix: str = "") -> None:
+    """One connected zig-zag component with ``2 * pairs`` nodes."""
+    for i in range(pairs):
+        graph.add_edge(f"{prefix}q{i}", f"{prefix}a{i}", impressions=4, clicks=2)
+        if i + 1 < pairs:
+            graph.add_edge(f"{prefix}q{i + 1}", f"{prefix}a{i}", impressions=4, clicks=1)
+
+
+class TestChooseComponentBackend:
+    def test_small_components_stay_dense(self):
+        assert choose_component_backend(SPARSE_NODE_THRESHOLD - 1, edges=400) == "matrix"
+
+    def test_large_sparse_components_go_sparse(self):
+        assert choose_component_backend(600, edges=600) == "sparse"
+
+    def test_large_but_dense_components_stay_dense(self):
+        nodes = 600
+        possible = (nodes / 2) ** 2
+        dense_edges = int(possible * (DENSE_DENSITY_CEILING + 0.05))
+        assert choose_component_backend(nodes, edges=dense_edges) == "matrix"
+
+
+class TestProfileGraph:
+    def test_counts_and_component_sizes(self):
+        graph = multi_component_graph(num_components=3, seed=5)
+        profile = profile_graph(graph)
+        assert profile.num_nodes == graph.num_nodes
+        assert profile.num_edges == graph.num_edges
+        assert profile.num_components == 3
+        assert profile.component_sizes == tuple(sorted(profile.component_sizes, reverse=True))
+
+    def test_isolated_nodes_are_not_components(self):
+        graph = multi_component_graph(num_components=2, with_isolates=True, seed=7)
+        assert profile_graph(graph).num_components == 2
+
+    def test_empty_graph(self):
+        profile = profile_graph(ClickGraph())
+        assert profile.num_components == 0
+        assert profile.largest_fraction == 1.0
+
+
+class TestPlanFit:
+    def test_single_component_plans_one_dense_fit(self):
+        graph = ClickGraph()
+        _add_chain(graph, pairs=10)
+        plan = plan_fit(graph)
+        assert plan.strategy == "single-dense"
+        assert plan.shards == ()
+        assert plan.workers == 1
+
+    def test_large_single_component_plans_one_sparse_fit(self):
+        graph = ClickGraph()
+        _add_chain(graph, pairs=300)  # 600 nodes, one component, very sparse
+        plan = plan_fit(graph)
+        assert plan.strategy == "single-sparse"
+
+    def test_dominant_component_avoids_sharding(self):
+        graph = ClickGraph()
+        _add_chain(graph, pairs=50, prefix="big_")  # 100 nodes
+        _add_chain(graph, pairs=2, prefix="tiny_")  # 4 nodes: 96% dominance
+        plan = plan_fit(graph)
+        assert plan.strategy == "single-dense"
+        assert "largest component" in plan.rationale
+
+    def test_multi_component_plans_sharded_with_per_shard_backends(self):
+        graph = ClickGraph()
+        _add_chain(graph, pairs=300, prefix="x_")  # 600 nodes -> sparse shard
+        _add_chain(graph, pairs=300, prefix="y_")  # 600 nodes -> sparse shard
+        _add_chain(graph, pairs=4, prefix="z_")  # 8 nodes -> dense shard
+        plan = plan_fit(graph, n_jobs=2)
+        assert plan.strategy == "sharded"
+        assert [shard.backend for shard in plan.shards] == ["sparse", "sparse", "matrix"]
+        assert plan.shards[0].nodes == 600
+        assert plan.workers == 2
+
+    def test_explicit_executor_is_honoured(self):
+        graph = multi_component_graph(num_components=4, seed=3)
+        assert plan_fit(graph, n_jobs=2, executor="process").executor == "process"
+        assert plan_fit(graph, n_jobs=2, executor="thread").executor == "thread"
+
+    def test_auto_executor_picks_threads_for_tiny_shards(self):
+        graph = multi_component_graph(num_components=4, seed=3)
+        assert plan_fit(graph, n_jobs=2, executor="auto").executor == "thread"
+
+
+class TestPlanReportSerialization:
+    def test_round_trips_through_dict(self):
+        graph = ClickGraph()
+        _add_chain(graph, pairs=300, prefix="x_")
+        _add_chain(graph, pairs=300, prefix="y_")
+        plan = plan_fit(graph, n_jobs=2, executor="thread")
+        assert PlanReport.from_dict(plan.to_dict()) == plan
+
+    def test_summary_mentions_the_strategy(self):
+        plan = plan_fit(figure3_graph())
+        assert plan.strategy in plan.summary()
+
+
+class TestAutoSimrank:
+    @pytest.mark.parametrize("mode", ["simrank", "evidence", "weighted"])
+    def test_scores_match_the_dense_engine(self, mode):
+        graph = multi_component_graph(num_components=4, seed=17)
+        config = SimrankConfig(iterations=7, zero_evidence_floor=0.1)
+        dense = MatrixSimrank(config, mode=mode).fit(graph)
+        auto = AutoSimrank(config, mode=mode).fit(graph)
+        assert dense.similarities().max_difference(auto.similarities()) < 1e-9
+
+    def test_plan_is_exposed_after_fit(self):
+        graph = multi_component_graph(num_components=4, seed=17)
+        auto = AutoSimrank(SimrankConfig(iterations=5))
+        assert auto.plan is None
+        auto.fit(graph)
+        assert auto.plan is not None
+        assert auto.plan.strategy == "sharded"
+        assert auto.delegate is not None
+
+    def test_delegate_reused_when_the_strategy_repeats(self):
+        graph = multi_component_graph(num_components=4, seed=17)
+        auto = AutoSimrank(SimrankConfig(iterations=5)).fit(graph)
+        first_delegate = auto.delegate
+        auto.fit(graph)
+        assert auto.delegate is first_delegate
+
+    def test_ad_similarity_delegates(self):
+        graph = multi_component_graph(num_components=2, seed=9)
+        config = SimrankConfig(iterations=5)
+        auto = AutoSimrank(config).fit(graph)
+        dense = MatrixSimrank(config).fit(graph)
+        assert auto.ad_similarity("c0_a0", "c0_a1") == pytest.approx(
+            dense.ad_similarity("c0_a0", "c0_a1"), abs=1e-9
+        )
+
+    def test_restore_clears_the_plan(self):
+        graph = multi_component_graph(num_components=2, seed=9)
+        auto = AutoSimrank(SimrankConfig(iterations=5)).fit(graph)
+        restored = AutoSimrank(SimrankConfig(iterations=5)).restore(auto.similarities())
+        assert restored.plan is None
+        assert restored.delegate is None
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            AutoSimrank(mode="bogus")
+        with pytest.raises(ValueError):
+            AutoSimrank(n_jobs=0)
+        with pytest.raises(ValueError):
+            AutoSimrank(executor="fibers")

@@ -104,3 +104,157 @@ class TestValidation:
             method.similarities()
         with pytest.raises(RuntimeError):
             method.num_shards
+
+
+class TestAffinityAwareSizing:
+    def test_n_jobs_minus_one_respects_cpu_affinity(self, monkeypatch):
+        """Regression: -1 used os.cpu_count() and oversubscribed containers."""
+        from repro.core import parallel
+
+        monkeypatch.setattr(
+            parallel.os, "sched_getaffinity", lambda pid: {0, 1}, raising=False
+        )
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 64)
+        method = ShardedSimrank(SimrankConfig(iterations=5), n_jobs=-1)
+        assert method._resolve_jobs(num_shards=8) == 2
+
+    def test_explicit_n_jobs_is_capped_by_shard_count(self):
+        method = ShardedSimrank(SimrankConfig(iterations=5), n_jobs=16)
+        assert method._resolve_jobs(num_shards=3) == 3
+
+
+class _FailingFitInjector:
+    """Wraps ``_build_inner`` so chosen shards raise mid-fit; counts starts."""
+
+    def __init__(self, fail_on: int, delay: float = 0.0):
+        self.fail_on = fail_on
+        self.delay = delay
+        self.builds = 0
+        self.fit_starts = []
+
+    def install(self, monkeypatch):
+        injector = self
+        original = ShardedSimrank._build_inner
+
+        def build(method_self, subgraph):
+            inner = original(method_self, subgraph)
+            build_id = injector.builds
+            injector.builds += 1
+            inner_fit = inner.fit
+
+            def wrapped_fit(graph, initial_scores=None):
+                injector.fit_starts.append(build_id)
+                if build_id == injector.fail_on:
+                    raise RuntimeError("injected shard failure")
+                if injector.delay:
+                    import time
+
+                    time.sleep(injector.delay)
+                return inner_fit(graph, initial_scores=initial_scores)
+
+            inner.fit = wrapped_fit
+            return inner
+
+        monkeypatch.setattr(ShardedSimrank, "_build_inner", build)
+
+
+class TestFailedShardCleanup:
+    """Regression: a failing shard fit must not leave the method half-fitted."""
+
+    def test_first_fit_failure_leaves_method_cleanly_unfitted(
+        self, four_component_graph, monkeypatch
+    ):
+        _FailingFitInjector(fail_on=0).install(monkeypatch)
+        method = ShardedSimrank(SimrankConfig(iterations=5), n_jobs=2, executor="thread")
+        with pytest.raises(RuntimeError, match="injected shard failure"):
+            method.fit(four_component_graph)
+        assert not method.is_fitted
+        assert method.reused_shards is None
+        assert method.refitted_shards is None
+        assert method._shard_graphs == []
+        assert method._shard_methods == []
+        with pytest.raises(RuntimeError):
+            method.similarities()
+        with pytest.raises(RuntimeError):
+            method.num_shards
+
+    def test_failed_refit_keeps_serving_the_previous_fit(
+        self, four_component_graph, monkeypatch
+    ):
+        config = SimrankConfig(iterations=5)
+        method = ShardedSimrank(config, n_jobs=2, executor="thread").fit(
+            four_component_graph
+        )
+        before = method.similarities()
+        num_shards_before = method.num_shards
+        _FailingFitInjector(fail_on=0).install(monkeypatch)
+        with pytest.raises(RuntimeError, match="injected shard failure"):
+            method.fit(multi_component_graph(num_components=4, seed=99))
+        assert method.is_fitted
+        assert method.num_shards == num_shards_before
+        assert method.similarities().max_difference(before) == 0.0
+
+    def test_serial_path_cleans_up_too(self, four_component_graph, monkeypatch):
+        _FailingFitInjector(fail_on=1).install(monkeypatch)
+        method = ShardedSimrank(SimrankConfig(iterations=5), n_jobs=1)
+        with pytest.raises(RuntimeError, match="injected shard failure"):
+            method.fit(four_component_graph)
+        assert not method.is_fitted
+
+    def test_failure_cancels_outstanding_shard_fits(self, monkeypatch):
+        """Queued sibling fits are cancelled once one shard fails."""
+        graph = multi_component_graph(num_components=8, seed=23)
+        injector = _FailingFitInjector(fail_on=0, delay=0.2)
+        injector.install(monkeypatch)
+        method = ShardedSimrank(SimrankConfig(iterations=5), n_jobs=2, executor="thread")
+        with pytest.raises(RuntimeError, match="injected shard failure"):
+            method.fit(graph)
+        # The failing shard fails instantly; with 2 workers at most a couple
+        # of siblings can have started before the cancellation lands.
+        assert len(injector.fit_starts) < 8
+
+
+def _exploding_batch(batch):
+    raise RuntimeError("injected worker failure")
+
+
+class TestProcessExecutor:
+    @pytest.mark.timeout(120)
+    def test_process_fit_matches_serial(self, four_component_graph):
+        config = SimrankConfig(iterations=5)
+        serial = ShardedSimrank(config, mode="weighted", n_jobs=1).fit(
+            four_component_graph
+        )
+        process = ShardedSimrank(
+            config, mode="weighted", n_jobs=2, executor="process"
+        ).fit(four_component_graph)
+        assert serial.similarities().max_difference(process.similarities()) == 0.0
+        assert process.ad_similarity("c0_a0", "c0_a1") == pytest.approx(
+            serial.ad_similarity("c0_a0", "c0_a1"), abs=1e-12
+        )
+
+    @pytest.mark.timeout(120)
+    def test_process_worker_error_propagates_and_cleans_up(self, monkeypatch):
+        graph = multi_component_graph(num_components=3, seed=31)
+        # Sabotage the worker function: every batch raises in the child.  The
+        # replacement must be module-level (picklable by reference) -- a
+        # test-local closure cannot cross the process boundary.
+        import repro.core.simrank_sharded as sharded_module
+
+        monkeypatch.setattr(sharded_module, "_fit_shard_batch", _exploding_batch)
+        method = ShardedSimrank(SimrankConfig(iterations=5), n_jobs=2, executor="process")
+        with pytest.raises(RuntimeError, match="injected worker failure"):
+            method.fit(graph)
+        assert not method.is_fitted
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedSimrank(executor="fibers")
+
+
+class TestAutoInnerBackend:
+    def test_small_shards_all_fit_dense(self, four_component_graph):
+        method = ShardedSimrank(
+            SimrankConfig(iterations=5), inner_backend="auto"
+        ).fit(four_component_graph)
+        assert method.shard_backends() == ["matrix"] * method.num_shards

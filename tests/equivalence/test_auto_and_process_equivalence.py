@@ -1,0 +1,146 @@
+"""The auto backend and the process-pool executor are score-equivalent too.
+
+``backend="auto"`` is already swept by the standing backend matrix (it is a
+member of ``SIMRANK_BACKENDS``); this module adds the paths that matrix does
+not reach: fits executed on the *process* pool (true multi-core, picklable
+payloads crossing the process boundary) and the auto planner's warm-start
+refresh path.  Equivalence here means the same 1e-6 tolerance as the rest of
+the harness, for scores and for served rewrites.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from backend_matrix import MODES, TOLERANCE
+
+from repro.api.config import EngineConfig
+from repro.api.engine import RewriteEngine
+from repro.api.registry import create
+from repro.core.config import SimrankConfig
+from repro.graph.delta import ClickGraphDelta, DeltaBuilder
+from repro.synth.scenarios import multi_component_graph
+
+#: Converged configuration (mirrors test_warm_start_equivalence): cold and
+#: warm fits both reach the tolerance, so they must agree at the fixpoint.
+CONVERGED = SimrankConfig(
+    c1=0.8, c2=0.8, iterations=120, tolerance=1e-9, zero_evidence_floor=0.1
+)
+
+
+def scenario():
+    return multi_component_graph(
+        num_components=5, queries_per_component=4, ads_per_component=3, seed=11
+    )
+
+
+def perturbed_pair():
+    old = scenario()
+    new = old.copy()
+    stats = new.edge("c0_q0", "c0_a0")
+    new.apply_delta(
+        DeltaBuilder(new)
+        .set_edge(
+            "c0_q0",
+            "c0_a0",
+            impressions=stats.impressions + 40,
+            clicks=stats.clicks + 4,
+        )
+        .set_edge("c1_q0", "c1_a2", impressions=60, clicks=6)
+        .remove_edge("c2_q1", "c2_a1")
+        .build()
+    )
+    return old, new
+
+
+@pytest.mark.timeout(300)
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("backend", ["sharded", "auto"])
+def test_process_executor_matches_the_dense_engine(backend, mode):
+    graph = scenario()
+    dense = create(mode, config=CONVERGED, backend="matrix").fit(graph)
+    process = create(
+        mode, config=CONVERGED, backend=backend, n_jobs=2, executor="process"
+    ).fit(graph)
+    difference = dense.similarities().max_difference(process.similarities())
+    assert difference < TOLERANCE
+
+
+@pytest.mark.timeout(300)
+@pytest.mark.parametrize("mode", MODES)
+def test_auto_warm_start_refresh_agrees_with_cold_fit(mode):
+    """The planner's delegate reuse must not change the warm-started fixpoint."""
+    old, new = perturbed_pair()
+    auto = create(mode, config=CONVERGED, backend="auto").fit(old)
+    auto.fit(new, initial_scores=auto.similarities())
+    assert auto.warm_started is True
+
+    cold = create(mode, config=CONVERGED, backend="auto").fit(new)
+    assert auto.similarities().max_difference(cold.similarities()) < TOLERANCE
+
+
+@pytest.mark.timeout(300)
+def test_auto_warm_start_keeps_sharded_dirty_component_reuse():
+    """Through the auto delegate, untouched components are still reused."""
+    old, new = perturbed_pair()
+    auto = create("weighted_simrank", config=CONVERGED, backend="auto").fit(old)
+    assert auto.plan.strategy == "sharded"
+    auto.fit(new, initial_scores=auto.similarities())
+    # c0/c1 touched and the edge removal splits c2 in two: 4 dirty fits,
+    # while c3/c4 are reused verbatim.
+    assert auto.reused_shards == 2
+    assert auto.refitted_shards == 4
+
+
+@pytest.mark.timeout(300)
+@pytest.mark.parametrize("mode", MODES)
+def test_served_rewrites_match_across_auto_and_process(mode):
+    """Depth and ranked score profile agree through the full engine path."""
+    graph = scenario()
+    queries = sorted(graph.queries(), key=repr)
+    engines = {
+        "matrix": EngineConfig(method=mode, backend="matrix", similarity=CONVERGED),
+        "auto": EngineConfig(method=mode, backend="auto", similarity=CONVERGED),
+        "process": EngineConfig(
+            method=mode,
+            backend="sharded",
+            similarity=CONVERGED,
+            n_jobs=2,
+            executor="process",
+        ),
+    }
+    batches = {}
+    for name, config in engines.items():
+        engine = RewriteEngine.from_graph(graph, config).fit()
+        batches[name] = engine.rewrite_batch(queries)
+    reference = batches["matrix"]
+    for name in ("auto", "process"):
+        for expected, actual in zip(reference, batches[name]):
+            context = f"{mode}/{name}: query {expected.query!r}"
+            assert expected.depth == actual.depth, context
+            for expected_rewrite, actual_rewrite in zip(
+                expected.rewrites, actual.rewrites
+            ):
+                assert actual_rewrite.score == pytest.approx(
+                    expected_rewrite.score, abs=TOLERANCE
+                ), context
+
+
+@pytest.mark.timeout(300)
+def test_auto_refresh_through_the_engine_matches_a_cold_engine():
+    """RewriteEngine.refresh on an auto engine equals refitting from scratch."""
+    old, new = perturbed_pair()
+    config = EngineConfig(method="weighted_simrank", backend="auto", similarity=CONVERGED)
+    engine = RewriteEngine.from_graph(old.copy(), config).fit()
+    engine.refresh(ClickGraphDelta.between(old, new))
+
+    cold = RewriteEngine.from_graph(new, config).fit()
+    queries = sorted(new.queries(), key=repr)
+    for refreshed, expected in zip(engine.rewrite_batch(queries), cold.rewrite_batch(queries)):
+        assert refreshed.depth == expected.depth
+        for refreshed_rewrite, expected_rewrite in zip(
+            refreshed.rewrites, expected.rewrites
+        ):
+            assert refreshed_rewrite.score == pytest.approx(
+                expected_rewrite.score, abs=TOLERANCE
+            )
