@@ -63,6 +63,31 @@ them, refits warm-started from its current scores -- the sharded backend
 refits only the touched components -- and invalidates only the cached
 rewrite lists that could have changed (the CI-gated claim of
 ``benchmarks/bench_engine_refresh.py``).
+
+Serving resilience, degraded mode and fault injection
+-----------------------------------------------------
+
+The serving tier (``repro.serving``) wraps all of the above in a process
+built to keep answering while the refresh path misbehaves.  The pieces:
+
+* every attempted publish is recorded on the
+  :class:`~repro.serving.holder.EngineHolder` ledger (``last_error``,
+  ``consecutive_failures``, ``staleness_seconds``);
+* transient ``/refresh``/``/reload`` failures are retried with exponential
+  backoff (``ServerConfig(refresh_retries=...)``), and a circuit breaker
+  (``breaker_threshold`` / ``breaker_reset_s``) sheds publish attempts with
+  503 once the path looks down -- rewrite traffic keeps being served from
+  the stale engine throughout;
+* health is a three-state machine surfaced via ``/healthz``: ``healthy``
+  (last publish succeeded), ``degraded`` (serving, but the publish path is
+  struggling -- one successful refresh recovers), ``draining`` (shutting
+  down).  ``ServerConfig(request_timeout_s=...)`` adds per-request
+  deadlines (HTTP 504);
+* all of it is testable deterministically through :mod:`repro.core.faults`:
+  named fault points (snapshot IO, shard-fit workers, delta apply, engine
+  refresh, request handling) that are free no-ops until a ``FaultPlan``
+  activates them -- demonstrated at the bottom of this script, and gated
+  under live traffic by ``benchmarks/bench_chaos_serving.py``.
 """
 
 import tempfile
@@ -70,7 +95,9 @@ from pathlib import Path
 
 from repro import ClickGraph, DeltaBuilder, EngineConfig, RewriteEngine, SimrankConfig
 from repro.api.registry import PAPER_METHODS
+from repro.core import faults
 from repro.eval.reporting import format_table
+from repro.serving import CircuitBreaker, EngineHolder, classify_health
 
 
 def build_click_graph() -> ClickGraph:
@@ -231,6 +258,50 @@ def main() -> None:
     print(
         f"rewrite('camera') after refresh -> "
         f"{[r.rewrite for r in live.rewrite('camera').rewrites]}"
+    )
+
+    # Degraded mode, observed: inject two refresh outages at the
+    # engine.refresh fault point and watch the holder's publish ledger and
+    # the health classification -- the same machinery the HTTP server's
+    # /healthz, retries and circuit breaker run on.
+    holder = EngineHolder(live)
+    breaker = CircuitBreaker(threshold=3, reset_s=5.0)
+    outage = faults.FaultPlan(
+        [faults.FaultSpec("engine.refresh", error="upstream outage", times=2)]
+    )
+    retry_delta = (
+        DeltaBuilder(holder.engine.graph)
+        .set_edge("camera", "bestbuy.com/cameras", impressions=1500, clicks=320)
+        .build()
+    )
+    with outage:
+        for attempt in range(3):  # what the server's backoff retry loop does
+            try:
+                holder.refresh(retry_delta)
+            except faults.FaultError:
+                breaker.record_failure()
+                state = classify_health(
+                    draining=False,
+                    breaker_closed=breaker.closed,
+                    consecutive_failures=holder.consecutive_failures,
+                )
+                print(
+                    f"publish attempt {attempt + 1} failed "
+                    f"({holder.last_error}); health now {state!r}"
+                )
+            else:
+                breaker.record_success()
+                break
+    state = classify_health(
+        draining=False,
+        breaker_closed=breaker.closed,
+        consecutive_failures=holder.consecutive_failures,
+    )
+    print(
+        f"publish attempt 3 succeeded: engine version {holder.version}, "
+        f"health back to {state!r} after one successful refresh "
+        f"({holder.publish_failures} failures on the ledger, "
+        f"staleness {holder.staleness_seconds:.2f}s)"
     )
 
 

@@ -55,6 +55,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Un
 
 from repro.api.config import EngineConfig
 from repro.api.registry import create
+from repro.core import faults
 from repro.core.rewriter import CandidateDecision, QueryRewriter, RewriteList
 from repro.core.similarity_base import QuerySimilarityMethod
 from repro.graph.click_graph import ClickGraph
@@ -360,6 +361,7 @@ class RewriteEngine:
         copy-on-write swap); readers holding the old engine then never
         observe partial refresh state.
         """
+        faults.fire("engine.refresh")
         self._require_fitted()
         if self._graph is None:
             raise RuntimeError(
@@ -384,6 +386,7 @@ class RewriteEngine:
         # addition may merge previously untouched components in).
         affected = reachable_queries(self._graph, touched_queries, touched_ads)
         inverse = delta.inverted(self._graph)  # rollback, captured pre-apply
+        faults.fire("delta.apply")
         self._graph.apply_delta(delta)
         if delta.added or delta.removed:
             # Only topology changes can alter reachability; for the common

@@ -46,6 +46,7 @@ from typing import List, Union
 from scipy import sparse
 
 from repro.api.config import EngineConfig
+from repro.core import faults
 from repro.core.scores import SimilarityScores
 from repro.core.scores_array import ArraySimilarityScores
 
@@ -159,6 +160,7 @@ def write_snapshot(engine, path: PathLike) -> Path:
     scores); a crash at worst leaves the name briefly absent, which
     :func:`read_snapshot` rejects loudly.
     """
+    faults.fire("snapshot.write")
     if not engine.is_fitted:
         raise SnapshotError(
             "cannot snapshot an unfitted engine; call .fit(graph) first"
@@ -238,6 +240,13 @@ def write_snapshot(engine, path: PathLike) -> Path:
     try:
         sparse.save_npz(staging / SCORES_FILENAME, array.matrix.tocsr())
         (staging / MANIFEST_FILENAME).write_text(json.dumps(manifest, indent=2) + "\n")
+        if faults.should_corrupt("snapshot.write"):
+            # Injected torn write: publish a snapshot whose score matrix was
+            # cut off mid-write.  The manifest stays valid -- the worst
+            # case, because only the (expensive) matrix load can notice.
+            scores_file = staging / SCORES_FILENAME
+            data = scores_file.read_bytes()
+            scores_file.write_bytes(data[: max(1, len(data) // 2)])
         # Publish with renames only -- a completed snapshot is never rmtree'd
         # out from under a concurrent reader or writer; the previous version
         # is atomically moved aside and reclaimed after the swap succeeds.
@@ -325,6 +334,7 @@ def read_snapshot(path: PathLike, engine_cls=None):
     """
     from repro.api.engine import RewriteEngine
 
+    faults.fire("snapshot.read")
     engine_cls = engine_cls or RewriteEngine
     path = Path(path)
     manifest = read_manifest(path)

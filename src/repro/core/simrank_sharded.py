@@ -49,6 +49,7 @@ from concurrent.futures import (
 )
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from repro.core import faults
 from repro.core.config import SimrankConfig
 from repro.core.parallel import chunk_balanced, pick_executor, resolve_worker_count
 from repro.core.scores_array import ArraySimilarityScores
@@ -264,13 +265,24 @@ class ShardedSimrank(QuerySimilarityMethod):
             seeds = [None] * len(subgraphs)
         methods = [self._build_inner(subgraph) for subgraph in subgraphs]
         workers = self._resolve_jobs(len(subgraphs))
+        # One fault claim per shard, in shard order, *before* any work is
+        # dispatched: central counting keeps "shard.fit" injection
+        # deterministic across the serial, thread and process paths (and
+        # across retries -- a consumed fault stays consumed).
+        actions = [faults.claim("shard.fit") for _ in subgraphs]
         if workers <= 1 or len(subgraphs) <= 1:
-            for method, subgraph, seed in zip(methods, subgraphs, seeds):
+            for method, subgraph, seed, action in zip(
+                methods, subgraphs, seeds, actions
+            ):
+                if action is not None:
+                    action.execute()
                 method.fit(subgraph, initial_scores=seed)
             return methods
         if self._resolve_executor(subgraphs, workers) == "process":
-            return self._fit_shards_process(methods, subgraphs, seeds, workers)
-        return self._fit_shards_thread(methods, subgraphs, seeds, workers)
+            return self._fit_shards_process(
+                methods, subgraphs, seeds, workers, actions
+            )
+        return self._fit_shards_thread(methods, subgraphs, seeds, workers, actions)
 
     def _fit_shards_thread(
         self,
@@ -278,12 +290,15 @@ class ShardedSimrank(QuerySimilarityMethod):
         subgraphs: List[ClickGraph],
         seeds: List,
         workers: int,
+        actions: List[Optional[faults.FaultAction]],
     ) -> List[QuerySimilarityMethod]:
         pool = ThreadPoolExecutor(max_workers=workers)
         try:
             futures = [
-                pool.submit(method.fit, subgraph, initial_scores=seed)
-                for method, subgraph, seed in zip(methods, subgraphs, seeds)
+                pool.submit(_fit_one_shard, method, subgraph, seed, action)
+                for method, subgraph, seed, action in zip(
+                    methods, subgraphs, seeds, actions
+                )
             ]
             # Stop at the first failure instead of draining the whole map:
             # queued sibling fits are cancelled, running ones are joined
@@ -302,6 +317,7 @@ class ShardedSimrank(QuerySimilarityMethod):
         subgraphs: List[ClickGraph],
         seeds: List,
         workers: int,
+        actions: List[Optional[faults.FaultAction]],
     ) -> List[QuerySimilarityMethod]:
         """Fit shard batches in worker processes and collect the fitted engines.
 
@@ -310,6 +326,13 @@ class ShardedSimrank(QuerySimilarityMethod):
         rebuilds, fits and returns its engines; per-shard warm-start seeds
         travel inside the payload.  The fitted engines replace the local
         placeholders, so callers observe exactly the serial result.
+
+        Injected faults travel the same way: the parent claims them (the
+        generic ``shard.fit`` ones handed in by the caller, plus the
+        process-only ``shard.fit.worker`` ones -- the channel for
+        ``crash=True`` specs, which must kill a *worker*, never the
+        serving/fitting process itself) and ships the picklable actions
+        inside the batch, where the worker executes them before fitting.
         """
         kinds = [
             "sparse" if isinstance(method, SparseSimrank) else "matrix"
@@ -319,10 +342,23 @@ class ShardedSimrank(QuerySimilarityMethod):
             _estimate_shard_cost(kind, subgraph)
             for kind, subgraph in zip(kinds, subgraphs)
         ]
+        worker_actions = [faults.claim("shard.fit.worker") for _ in subgraphs]
         chunks = chunk_balanced(costs, workers)
         batches = [
             [
-                (kinds[i], self.config, self.mode, self.min_score, subgraphs[i], seeds[i])
+                (
+                    kinds[i],
+                    self.config,
+                    self.mode,
+                    self.min_score,
+                    subgraphs[i],
+                    seeds[i],
+                    tuple(
+                        action
+                        for action in (actions[i], worker_actions[i])
+                        if action is not None
+                    ),
+                )
                 for i in chunk
             ]
             for chunk in chunks
@@ -420,17 +456,34 @@ def _build_inner_engine(
     return MatrixSimrank(config=config, mode=mode, min_score=min_score)
 
 
+def _fit_one_shard(
+    method: QuerySimilarityMethod,
+    subgraph: ClickGraph,
+    seed,
+    action: Optional[faults.FaultAction],
+) -> QuerySimilarityMethod:
+    """Thread-pool task body: execute any claimed fault, then fit the shard."""
+    if action is not None:
+        action.execute()
+    return method.fit(subgraph, initial_scores=seed)
+
+
 def _fit_shard_batch(batch: List[Tuple]) -> List[QuerySimilarityMethod]:
     """Process-pool worker: rebuild, fit and return one batch of inner engines.
 
     Module-level (and fed only picklable payloads) so it can cross the
     process boundary: each payload is ``(kind, config, mode, min_score,
-    subgraph, seed)`` and the fitted engines -- graph, scores and all --
-    are pickled back to the parent, where they serve exactly like
-    thread-fitted ones.
+    subgraph, seed, fault_actions)`` and the fitted engines -- graph,
+    scores and all -- are pickled back to the parent, where they serve
+    exactly like thread-fitted ones.  Fault actions were claimed in the
+    parent (central, deterministic counting) and execute here, in the
+    worker -- ``crash=True`` actions take down this process, which the
+    parent pool surfaces as ``BrokenProcessPool``.
     """
     fitted = []
-    for kind, config, mode, min_score, subgraph, seed in batch:
+    for kind, config, mode, min_score, subgraph, seed, shard_faults in batch:
+        for action in shard_faults:
+            action.execute()
         method = _build_inner_engine(kind, config, mode, min_score)
         method.fit(subgraph, initial_scores=seed)
         fitted.append(method)

@@ -22,6 +22,46 @@ programmatically::
     holder = EngineHolder(engine)
     async with RewriteServer(holder, ServerConfig(port=8641)) as server:
         ...
+
+Resilience guide
+----------------
+
+The serving tier is built to keep answering -- correctly, from the last
+published engine -- while the analytical side misbehaves.  The moving
+parts (:mod:`repro.serving.resilience`):
+
+* **Deadlines.**  ``ServerConfig(request_timeout_s=...)`` bounds every
+  ``/rewrite``/``/rewrite_batch`` request; past the budget the client gets
+  HTTP 504.  Serving only ever *reads* the published engine, so a cut
+  request never leaves state inconsistent.
+* **Retried publishes.**  Transient ``/refresh``/``/reload`` failures (a
+  crashed fit worker, an injected outage) are retried with exponential
+  backoff and seeded jitter (``refresh_retries`` / ``refresh_backoff_s``);
+  client errors (400) and corrupt snapshots (:class:`~repro.api.snapshot.
+  SnapshotError` -> 500) are never retried, and the old engine stays
+  published either way.
+* **Circuit breaker.**  After ``breaker_threshold`` consecutive transient
+  publish failures the breaker opens: further publish requests are shed
+  with 503 while rewrite traffic continues against the stale engine.
+  After ``breaker_reset_s`` a single half-open probe decides between
+  closing and re-opening.
+* **Health states.**  ``/healthz`` reports ``healthy`` (serving, last
+  publish succeeded), ``degraded`` (serving -- possibly stale -- but the
+  publish path is struggling) or ``draining`` (shutting down), plus the
+  served engine's staleness age; ``/stats`` adds the full publish ledger
+  (:attr:`EngineHolder.last_error`, failure counts, breaker state).  One
+  successful refresh returns a degraded server to healthy.
+* **Crash-safe startup.**  ``serve --snapshot DIR`` falls back to the
+  newest loadable sibling snapshot when ``DIR`` is corrupt
+  (:func:`~repro.serving.resilience.load_engine_with_fallback`).
+
+All of it is exercised by deterministic fault injection
+(:mod:`repro.core.faults`): named fault points in snapshot IO, shard-fit
+workers, delta apply, engine refresh and request handling that are no-ops
+until a ``FaultPlan`` is activated.  ``run_load(fault_schedule=...)``
+replays scripted fault windows under live traffic -- the chaos gate
+(``benchmarks/bench_chaos_serving.py``) asserts zero incorrect responses
+and >= 99.9% availability under exactly that.
 """
 
 from repro.serving.holder import EngineHolder
@@ -34,6 +74,15 @@ from repro.serving.loadgen import (
     run_load,
 )
 from repro.serving.metrics import LatencyWindow, percentile, summarize_latencies
+from repro.serving.resilience import (
+    DEGRADED,
+    DRAINING,
+    HEALTHY,
+    CircuitBreaker,
+    RetryPolicy,
+    classify_health,
+    load_engine_with_fallback,
+)
 from repro.serving.server import (
     RewriteServer,
     ServerConfig,
@@ -45,6 +94,13 @@ __all__ = [
     "EngineHolder",
     "RewriteServer",
     "ServerConfig",
+    "CircuitBreaker",
+    "RetryPolicy",
+    "classify_health",
+    "load_engine_with_fallback",
+    "HEALTHY",
+    "DEGRADED",
+    "DRAINING",
     "ZipfSchedule",
     "LoadReport",
     "RecordedResponse",

@@ -34,6 +34,7 @@ from repro.api.config import EngineConfig
 from repro.api.engine import RewriteEngine
 from repro.core.config import SimrankConfig
 from repro.serving.holder import EngineHolder
+from repro.serving.resilience import load_engine_with_fallback
 from repro.serving.server import RewriteServer, ServerConfig
 
 __all__ = ["build_serve_parser", "build_engine", "serve_main"]
@@ -121,13 +122,35 @@ def build_serve_parser() -> argparse.ArgumentParser:
         default=None,
         help="serve for this long and exit (default: until SIGINT/SIGTERM)",
     )
+    net.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request deadline for /rewrite endpoints; exceeded "
+        "requests get HTTP 504 (default: no deadline)",
+    )
     return parser
 
 
 def build_engine(args: argparse.Namespace) -> RewriteEngine:
-    """The engine the server publishes first: snapshot-revived or freshly fitted."""
+    """The engine the server publishes first: snapshot-revived or freshly fitted.
+
+    A corrupt ``--snapshot`` (torn write, missing files) does not abort
+    startup: the newest loadable sibling snapshot is served instead, with
+    a warning on stderr -- crash-safe startup over refusing to serve.
+    """
     if args.snapshot:
-        engine = RewriteEngine.load(args.snapshot)
+        engine, loaded_from = load_engine_with_fallback(
+            args.snapshot,
+            warn=lambda message: print(f"warning: {message}", file=sys.stderr),
+        )
+        if str(loaded_from) != str(args.snapshot):
+            print(
+                f"warning: started degraded -- serving {loaded_from} instead of "
+                f"requested snapshot {args.snapshot}",
+                file=sys.stderr,
+            )
     else:
         from repro.synth.yahoo_like import yahoo_like_workload
 
@@ -205,6 +228,7 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         batch_linger_ms=args.linger_ms,
         max_concurrency=args.concurrency,
         queue_size=args.queue_size,
+        request_timeout_s=args.request_timeout,
     )
     try:
         asyncio.run(_serve(engine, config, args.serve_seconds))

@@ -51,6 +51,13 @@ class EngineHolder:
     publishes it.  The engine readers hold is never mutated; a failed
     refresh publishes nothing.  ``reload(path)`` swaps in an engine revived
     from a snapshot directory, the cross-process variant of the same move.
+
+    Every *attempted* publish leaves a trace: failures increment
+    :attr:`publish_failures` / :attr:`consecutive_failures` and record
+    :attr:`last_error` + :attr:`last_failure_at`; successes reset the
+    consecutive count and stamp :attr:`published_at`, from which
+    :attr:`staleness_seconds` measures how old the served engine is.  The
+    circuit breaker and ``/stats`` read this ledger instead of guessing.
     """
 
     def __init__(self, engine: RewriteEngine, version: int = 1) -> None:
@@ -64,6 +71,16 @@ class EngineHolder:
         self._last_swap_seconds: Optional[float] = None
         #: Swap listeners (version, engine) -> None, called after publish.
         self._listeners: List[Callable[[int, RewriteEngine], None]] = []
+        #: Publish-outcome ledger.  Guarded by its own lock, not ``_mutate``:
+        #: a *failed* reload records its outcome without ever taking the swap
+        #: lock, and readers (/stats, the circuit breaker) must not block
+        #: behind an in-flight refit.
+        self._outcome = threading.Lock()
+        self._publish_failures = 0
+        self._consecutive_failures = 0
+        self._last_error: Optional[str] = None
+        self._last_failure_at: Optional[float] = None
+        self._published_at: float = time.time()
 
     # ---------------------------------------------------------------- reading
 
@@ -111,9 +128,13 @@ class EngineHolder:
         """
         with self._mutate:
             started = time.perf_counter()
-            candidate = self._current[0].copy()
-            candidate.refresh(delta)
-            version = self._publish(candidate)
+            try:
+                candidate = self._current[0].copy()
+                candidate.refresh(delta)
+                version = self._publish(candidate)
+            except Exception as exc:
+                self._record_failure(exc)
+                raise
             self._last_swap_seconds = time.perf_counter() - started
             return version
 
@@ -127,9 +148,13 @@ class EngineHolder:
         unblocked until the publish.
         """
         started = time.perf_counter()
-        candidate = RewriteEngine.load(path)
-        if precompute:
-            candidate.precompute()
+        try:
+            candidate = RewriteEngine.load(path)
+            if precompute:
+                candidate.precompute()
+        except Exception as exc:
+            self._record_failure(exc)
+            raise
         with self._mutate:
             version = self._publish(candidate)
             self._last_swap_seconds = time.perf_counter() - started
@@ -140,9 +165,20 @@ class EngineHolder:
         version = self._current[1] + 1
         self._current = (engine, version)
         self._swaps += 1
+        with self._outcome:
+            self._consecutive_failures = 0
+            self._published_at = time.time()
         for listener in self._listeners:
             listener(version, engine)
         return version
+
+    def _record_failure(self, exc: BaseException) -> None:
+        """Ledger entry for a publish attempt that raised instead of swapping."""
+        with self._outcome:
+            self._publish_failures += 1
+            self._consecutive_failures += 1
+            self._last_error = f"{type(exc).__name__}: {exc}"
+            self._last_failure_at = time.time()
 
     # ------------------------------------------------------------------ hooks
 
@@ -169,6 +205,47 @@ class EngineHolder:
     def last_swap_seconds(self) -> Optional[float]:
         """Wall-clock duration of the most recent refresh/reload, if any."""
         return self._last_swap_seconds
+
+    @property
+    def publish_failures(self) -> int:
+        """Total publish attempts (refresh/reload) that raised."""
+        with self._outcome:
+            return self._publish_failures
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Failed publish attempts since the last successful publish."""
+        with self._outcome:
+            return self._consecutive_failures
+
+    @property
+    def last_error(self) -> Optional[str]:
+        """``"ExcType: message"`` of the most recent publish failure, if any.
+
+        Deliberately *not* cleared by a later success: /stats keeps showing
+        what last went wrong, and ``consecutive_failures == 0`` already says
+        the holder has recovered since.
+        """
+        with self._outcome:
+            return self._last_error
+
+    @property
+    def last_failure_at(self) -> Optional[float]:
+        """``time.time()`` of the most recent publish failure, if any."""
+        with self._outcome:
+            return self._last_failure_at
+
+    @property
+    def published_at(self) -> float:
+        """``time.time()`` when the current engine was published."""
+        with self._outcome:
+            return self._published_at
+
+    @property
+    def staleness_seconds(self) -> float:
+        """Age of the served engine: seconds since the last successful publish."""
+        with self._outcome:
+            return max(0.0, time.time() - self._published_at)
 
     def __repr__(self) -> str:
         engine, version = self._current

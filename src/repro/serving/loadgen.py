@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.core import faults
 from repro.serving.metrics import summarize_latencies
 
 __all__ = [
@@ -158,11 +159,25 @@ class RecordedResponse:
 
 @dataclass
 class LoadReport:
-    """What a :func:`run_load` replay measured."""
+    """What a :func:`run_load` replay measured.
+
+    Every request lands in exactly one outcome bucket:
+
+    - ``succeeded``: HTTP 200.
+    - ``shed``: HTTP 503 -- the server *chose* not to serve (queue full,
+      draining, breaker open).  Deliberate load management, not a failure.
+    - ``timed_out``: HTTP 504 -- the request exceeded its configured
+      deadline budget.  Also deliberate: the server cut it, not lost it.
+    - ``failed``: everything else -- 5xx/4xx errors, connection drops,
+      malformed bodies.  The chaos gate's availability target counts only
+      these against the server.
+    """
 
     requests: int = 0
     succeeded: int = 0
     failed: int = 0
+    shed: int = 0
+    timed_out: int = 0
     duration_s: float = 0.0
     latencies_ms: List[float] = field(default_factory=list)
     #: engine version -> how many responses it served.
@@ -174,6 +189,18 @@ class LoadReport:
     def throughput_rps(self) -> float:
         return self.succeeded / self.duration_s if self.duration_s > 0 else 0.0
 
+    @property
+    def availability(self) -> float:
+        """Fraction of *non-deliberate* outcomes that succeeded.
+
+        Sheds (503) and deadline timeouts (504) are the server managing
+        load on purpose, so they are excluded from the denominator; only
+        genuine failures count against availability.  1.0 when nothing
+        remains in the denominator.
+        """
+        denominator = self.succeeded + self.failed
+        return self.succeeded / denominator if denominator else 1.0
+
     def latency_summary(self) -> Dict[str, float]:
         return summarize_latencies(self.latencies_ms)
 
@@ -183,6 +210,9 @@ class LoadReport:
             "requests": self.requests,
             "succeeded": self.succeeded,
             "failed": self.failed,
+            "shed": self.shed,
+            "timed_out": self.timed_out,
+            "availability": self.availability,
             "duration_s": self.duration_s,
             "throughput_rps": self.throughput_rps,
             "latency_ms": self.latency_summary(),
@@ -197,15 +227,24 @@ async def run_load(
     schedule: Sequence[str],
     concurrency: int = 8,
     record_responses: bool = False,
+    fault_schedule: Optional[faults.FaultSchedule] = None,
 ) -> LoadReport:
     """Replay ``schedule`` against a rewrite server and measure latency.
 
     ``concurrency`` workers each hold one keep-alive connection and pull
     the next query from the shared schedule, so the offered load mirrors
-    ``concurrency`` independent clients.  A failed request (HTTP error,
-    connection drop, malformed body) counts in ``report.failed`` and the
-    worker reconnects and keeps going -- the zero-downtime gate asserts
-    ``failed == 0``.
+    ``concurrency`` independent clients.  Every outcome is classified (see
+    :class:`LoadReport`): 503s are sheds, 504s are deadline timeouts,
+    anything else non-200 (or a dropped connection) is a failure, after
+    which the worker reconnects and keeps going -- the zero-downtime gate
+    asserts ``failed == 0``, the chaos gate asserts ``availability``.
+
+    ``fault_schedule`` replays a scripted
+    :class:`~repro.core.faults.FaultSchedule` while the load is in flight:
+    each event (de)activates a process-wide fault plan at its ``at_s``
+    offset from the start of the run.  Whatever plan was active before the
+    run is restored afterwards, so fault windows never leak out of the
+    replay.  This only injects into a server running in *this* process.
     """
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
@@ -213,6 +252,14 @@ async def run_load(
     queue: "asyncio.Queue[str]" = asyncio.Queue()
     for query in schedule:
         queue.put_nowait(query)
+
+    async def replay_faults(events: Sequence[faults.FaultEvent]) -> None:
+        run_started = time.perf_counter()
+        for event in events:
+            delay = event.at_s - (time.perf_counter() - run_started)
+            if delay > 0:
+                await asyncio.sleep(delay)
+            faults.activate(event.plan)
 
     async def worker() -> None:
         reader: Optional[asyncio.StreamReader] = None
@@ -247,6 +294,12 @@ async def run_load(
                     await close()
                     continue
                 elapsed_ms = (time.perf_counter() - started) * 1000.0
+                if status == 503:
+                    report.shed += 1
+                    continue
+                if status == 504:
+                    report.timed_out += 1
+                    continue
                 if status != 200:
                     report.failed += 1
                     report.errors.append(
@@ -272,6 +325,21 @@ async def run_load(
             await close()
 
     started = time.perf_counter()
-    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    replay_task: Optional["asyncio.Task[None]"] = None
+    previous_plan = faults.active_plan()
+    if fault_schedule is not None and fault_schedule.events:
+        replay_task = asyncio.get_running_loop().create_task(
+            replay_faults(fault_schedule.events)
+        )
+    try:
+        await asyncio.gather(*(worker() for _ in range(concurrency)))
+    finally:
+        if replay_task is not None:
+            replay_task.cancel()
+            try:
+                await replay_task
+            except asyncio.CancelledError:
+                pass
+            faults.activate(previous_plan)
     report.duration_s = time.perf_counter() - started
     return report

@@ -34,9 +34,11 @@ Endpoints (all request/response bodies are JSON):
 ``POST /reload``
     ``{"path": "engines/today"}`` -> hot-load a snapshot directory and swap.
 ``GET /healthz``
-    Liveness + current engine version.
+    Health state (``healthy`` / ``degraded`` / ``draining``), current
+    engine version + staleness age, circuit-breaker state.
 ``GET /stats``
-    Serving counters, queue/batch state, latency percentiles, cache info.
+    Serving counters, queue/batch state, latency percentiles, cache info,
+    and the resilience ledger (publish failures, retries, breaker).
 
 Shutdown is graceful: :meth:`RewriteServer.stop` stops accepting, lets the
 queued and in-flight requests finish (bounded by
@@ -55,12 +57,15 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.api.engine import RewriteEngine
+from repro.api.snapshot import SnapshotError
+from repro.core import faults
 from repro.core.parallel import available_cpu_count
 from repro.core.rewriter import RewriteList
 from repro.graph.click_graph import EdgeStats
 from repro.graph.delta import ClickGraphDelta
 from repro.serving.holder import EngineHolder
 from repro.serving.metrics import LatencyWindow
+from repro.serving.resilience import CircuitBreaker, RetryPolicy, classify_health
 
 __all__ = [
     "ServerConfig",
@@ -105,6 +110,23 @@ class ServerConfig:
     latency_window:
         How many recent rewrite requests the server-side latency
         percentiles in ``/stats`` are computed over.
+    request_timeout_s:
+        Per-request deadline for ``/rewrite`` and ``/rewrite_batch``.
+        A request whose batch has not resolved within the budget gets
+        HTTP 504 and its future is cancelled; the engine itself is only
+        ever *read* by serving, so a timed-out request can never leave
+        state inconsistent.  ``None`` (the default) disables deadlines.
+    refresh_retries / refresh_backoff_s / refresh_backoff_max_s:
+        Transient ``/refresh`` and ``/reload`` failures are retried this
+        many times with exponential backoff (seeded jitter, see
+        :class:`~repro.serving.resilience.RetryPolicy`) before the request
+        fails.  Client errors (bad delta: 400) and corrupt snapshots
+        (:class:`SnapshotError`: 500) are never retried.
+    breaker_threshold / breaker_reset_s:
+        Circuit breaker over the publish path: after ``breaker_threshold``
+        consecutive transient failures, further ``/refresh``/``/reload``
+        requests are shed with 503 (the stale engine keeps serving) until
+        ``breaker_reset_s`` elapses and a half-open probe succeeds.
     """
 
     host: str = "127.0.0.1"
@@ -116,6 +138,12 @@ class ServerConfig:
     drain_timeout_s: float = 10.0
     max_request_bytes: int = 1 << 20
     latency_window: int = 4096
+    request_timeout_s: Optional[float] = None
+    refresh_retries: int = 2
+    refresh_backoff_s: float = 0.05
+    refresh_backoff_max_s: float = 1.0
+    breaker_threshold: int = 3
+    breaker_reset_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -130,6 +158,27 @@ class ServerConfig:
             raise ValueError(f"drain_timeout_s must be >= 0, got {self.drain_timeout_s}")
         if self.latency_window < 1:
             raise ValueError(f"latency_window must be >= 1, got {self.latency_window}")
+        if self.request_timeout_s is not None and self.request_timeout_s <= 0:
+            raise ValueError(
+                f"request_timeout_s must be > 0 or None, got {self.request_timeout_s}"
+            )
+        if self.refresh_retries < 0:
+            raise ValueError(
+                f"refresh_retries must be >= 0, got {self.refresh_retries}"
+            )
+        if self.refresh_backoff_s < 0 or self.refresh_backoff_max_s < 0:
+            raise ValueError(
+                "refresh_backoff_s and refresh_backoff_max_s must be >= 0, got "
+                f"{self.refresh_backoff_s} / {self.refresh_backoff_max_s}"
+            )
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if self.breaker_reset_s <= 0:
+            raise ValueError(
+                f"breaker_reset_s must be > 0, got {self.breaker_reset_s}"
+            )
 
     def resolved_concurrency(self) -> int:
         """The effective pool size: explicit, else sized from available CPUs."""
@@ -219,6 +268,7 @@ _REASONS = {
     413: "Payload Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -267,6 +317,9 @@ class _Counters:
     queue_high_water: int = 0
     refreshes: int = 0
     reloads: int = 0
+    timeouts: int = 0
+    publish_retries: int = 0
+    rejected_breaker_open: int = 0
 
 
 class RewriteServer:
@@ -311,6 +364,15 @@ class RewriteServer:
         self._counters = _Counters()
         self._latency = LatencyWindow(self._config.latency_window)
         self._started_at: Optional[float] = None
+        self._breaker = CircuitBreaker(
+            threshold=self._config.breaker_threshold,
+            reset_s=self._config.breaker_reset_s,
+        )
+        self._retry = RetryPolicy(
+            retries=self._config.refresh_retries,
+            backoff_s=self._config.refresh_backoff_s,
+            max_backoff_s=self._config.refresh_backoff_max_s,
+        )
 
     # -------------------------------------------------------------- lifecycle
 
@@ -425,7 +487,21 @@ class RewriteServer:
         )
         self._pending.add(item.future)
         item.future.add_done_callback(self._pending.discard)
-        return await item.future
+        timeout = self._config.request_timeout_s
+        if timeout is None:
+            return await item.future
+        try:
+            # wait_for cancels the future on timeout; _run_batch checks
+            # ``future.done()`` before resolving, so a timed-out request is
+            # simply skipped when its batch completes.  Serving only ever
+            # *reads* the published engine -- a deadline can cut a response
+            # short but never leave engine state inconsistent.
+            return await asyncio.wait_for(item.future, timeout)
+        except asyncio.TimeoutError:
+            self._counters.timeouts += 1
+            raise _HttpError(
+                504, f"request deadline of {timeout}s exceeded"
+            ) from None
 
     async def _dispatch_loop(self) -> None:
         """Coalesce queued requests into micro-batches and run them."""
@@ -497,6 +573,7 @@ class RewriteServer:
         engine: RewriteEngine, unique: List[Node]
     ) -> Dict[Node, List[Dict[str, Any]]]:
         """Executor-thread body: serve the deduplicated batch off one engine."""
+        faults.fire("serving.compute")
         results = engine.rewrite_batch(unique)
         return {
             query: _rewrites_payload(result) for query, result in zip(unique, results)
@@ -580,6 +657,7 @@ class RewriteServer:
         return status, payload
 
     async def _route(self, request: _Request) -> Dict[str, Any]:
+        faults.fire("serving.request")
         handlers = {
             ("POST", "/rewrite"): self._handle_rewrite,
             ("POST", "/rewrite_batch"): self._handle_rewrite_batch,
@@ -621,6 +699,62 @@ class RewriteServer:
             ],
         }
 
+    async def _publish_with_resilience(self, kind: str, attempt) -> int:
+        """Run a publish attempt in the admin executor, behind retry + breaker.
+
+        ``attempt`` is a zero-argument callable (``holder.refresh``/
+        ``holder.reload`` closure) whose failure taxonomy decides the
+        response:
+
+        - ``KeyError``/``ValueError``: the client's input does not match
+          the served state -- 400, never retried, breaker untouched.
+        - :class:`SnapshotError`: the pointed-at snapshot is corrupt or
+          mid-write -- 500 with the old engine still published, never
+          retried (the bytes will not get better on their own).
+        - anything else is transient: each failed attempt is recorded
+          against the breaker and retried after a backoff, aborting early
+          if the breaker opens mid-request.
+
+        When the breaker refuses the request outright, the client gets a
+        503 that names the stale-but-serving engine version -- shed, not
+        failed: traffic is unaffected.
+        """
+        assert self._loop is not None
+        if not self._breaker.allow():
+            self._counters.rejected_breaker_open += 1
+            raise _HttpError(
+                503,
+                f"{kind} rejected: publish circuit breaker is "
+                f"{self._breaker.state}; still serving engine version "
+                f"{self._holder.version}",
+            )
+        delays = self._retry.delays()
+        while True:
+            try:
+                version = await self._loop.run_in_executor(
+                    self._admin_executor, attempt
+                )
+            except (KeyError, ValueError) as exc:
+                # A delta that does not match the served graph state (edge
+                # already present / absent) is a client error, not a crash.
+                self._breaker.release()
+                raise _HttpError(400, f"delta rejected: {exc}") from exc
+            except SnapshotError as exc:
+                self._breaker.release()
+                raise _HttpError(500, f"snapshot rejected: {exc}") from exc
+            except Exception as exc:  # noqa: BLE001 -- transient publish failure
+                self._breaker.record_failure()
+                delay = next(delays, None)
+                if delay is None or not self._breaker.allow():
+                    raise _HttpError(
+                        500, f"{kind} failed: {type(exc).__name__}: {exc}"
+                    ) from exc
+                self._counters.publish_retries += 1
+                await asyncio.sleep(delay)
+            else:
+                self._breaker.record_success()
+                return version
+
     async def _handle_refresh(self, request: _Request) -> Dict[str, Any]:
         try:
             delta = delta_from_payload(request.json())
@@ -630,14 +764,9 @@ class RewriteServer:
             raise _HttpError(400, f"invalid delta payload: {exc}") from exc
         assert self._loop is not None
         started = self._loop.time()
-        try:
-            version = await self._loop.run_in_executor(
-                self._admin_executor, self._holder.refresh, delta
-            )
-        except (KeyError, ValueError) as exc:
-            # A delta that does not match the served graph state (edge
-            # already present / absent) is a client error, not a crash.
-            raise _HttpError(400, f"delta rejected: {exc}") from exc
+        version = await self._publish_with_resilience(
+            "refresh", lambda: self._holder.refresh(delta)
+        )
         self._counters.refreshes += 1
         info = self._holder.engine.last_refresh
         return {
@@ -658,7 +787,7 @@ class RewriteServer:
         def _reload() -> int:
             return self._holder.reload(path, precompute=precompute)
 
-        version = await self._loop.run_in_executor(self._admin_executor, _reload)
+        version = await self._publish_with_resilience("reload", _reload)
         self._counters.reloads += 1
         return {
             "version": version,
@@ -666,9 +795,29 @@ class RewriteServer:
             "path": path,
         }
 
+    @property
+    def health(self) -> str:
+        """``healthy`` / ``degraded`` / ``draining`` (see :func:`classify_health`).
+
+        Degraded means the stale engine is still answering but the refresh
+        path is struggling (open/half-open breaker, or the last publish
+        attempt failed); one successful refresh returns to healthy.
+        """
+        return classify_health(
+            draining=self._draining,
+            breaker_closed=self._breaker.closed,
+            consecutive_failures=self._holder.consecutive_failures,
+        )
+
     async def _handle_healthz(self, request: _Request) -> Dict[str, Any]:
         engine, version = self._holder.current()
-        return {"status": "ok", "version": version, "fitted": engine.is_fitted}
+        return {
+            "status": self.health,
+            "version": version,
+            "fitted": engine.is_fitted,
+            "staleness_s": self._holder.staleness_seconds,
+            "breaker": self._breaker.state,
+        }
 
     async def _handle_stats(self, request: _Request) -> Dict[str, Any]:
         assert self._loop is not None and self._queue is not None
@@ -693,6 +842,7 @@ class RewriteServer:
                     for status, count in sorted(counters.responses.items())
                 },
                 "rejected_queue_full": counters.rejected_queue_full,
+                "timeouts": counters.timeouts,
             },
             "batching": {
                 "batches": counters.batches,
@@ -712,6 +862,19 @@ class RewriteServer:
             "reloads": counters.reloads,
             "latency_ms": self._latency.summary(),
             "draining": self._draining,
+            "health": {
+                "state": self.health,
+                "staleness_s": self._holder.staleness_seconds,
+                "breaker": self._breaker.describe(),
+                "publish": {
+                    "failures": self._holder.publish_failures,
+                    "consecutive_failures": self._holder.consecutive_failures,
+                    "last_error": self._holder.last_error,
+                    "last_failure_at": self._holder.last_failure_at,
+                    "retries": counters.publish_retries,
+                    "rejected_breaker_open": counters.rejected_breaker_open,
+                },
+            },
         }
 
     # ----------------------------------------------------------------- output

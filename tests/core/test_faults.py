@@ -1,0 +1,148 @@
+"""The fault-injection framework: determinism, channels, activation scoping."""
+
+import pickle
+import time
+
+import pytest
+
+from repro.core import faults
+
+
+class TestFaultSpec:
+    def test_rejects_a_spec_that_injects_nothing(self):
+        with pytest.raises(ValueError, match="injects nothing"):
+            faults.FaultSpec("some.point")
+
+    def test_rejects_invalid_windows(self):
+        with pytest.raises(ValueError, match="times"):
+            faults.FaultSpec("p", error="x", times=0)
+        with pytest.raises(ValueError, match="after"):
+            faults.FaultSpec("p", error="x", after=-1)
+        with pytest.raises(ValueError, match="latency_s"):
+            faults.FaultSpec("p", latency_s=-0.1)
+        with pytest.raises(ValueError, match="point"):
+            faults.FaultSpec("", error="x")
+
+    def test_latency_only_spec_is_valid(self):
+        spec = faults.FaultSpec("p", latency_s=0.5)
+        assert spec.latency_s == 0.5
+
+
+class TestFireWindows:
+    def test_noop_without_active_plan(self):
+        assert faults.active_plan() is None
+        faults.fire("never.instrumented")  # must simply return
+        assert faults.claim("never.instrumented") is None
+        assert faults.should_corrupt("never.instrumented") is False
+
+    def test_times_limits_firings(self):
+        plan = faults.FaultPlan([faults.FaultSpec("p", error="boom", times=2)])
+        with plan:
+            for _ in range(2):
+                with pytest.raises(faults.FaultError, match="boom"):
+                    faults.fire("p")
+            faults.fire("p")  # third hit: exhausted, no-op
+        assert plan.fire_count("p") == 2
+        assert plan.hits("p") == 3
+
+    def test_after_skips_leading_hits(self):
+        plan = faults.FaultPlan([faults.FaultSpec("p", error="late", after=2)])
+        with plan:
+            faults.fire("p")
+            faults.fire("p")
+            with pytest.raises(faults.FaultError, match="late"):
+                faults.fire("p")
+
+    def test_times_none_fires_on_every_matching_hit(self):
+        plan = faults.FaultPlan([faults.FaultSpec("p", error="always", times=None)])
+        with plan:
+            for _ in range(3):
+                with pytest.raises(faults.FaultError):
+                    faults.fire("p")
+        assert plan.fire_count("p") == 3
+
+    def test_points_count_independently(self):
+        plan = faults.FaultPlan([faults.FaultSpec("a", error="x")])
+        with plan:
+            faults.fire("b")  # different point: never fires the spec
+            with pytest.raises(faults.FaultError):
+                faults.fire("a")
+        assert plan.hits("b") == 1
+        assert plan.fire_count() == 1
+
+
+class TestChannels:
+    def test_corrupt_channel_is_separate_from_fire(self):
+        plan = faults.FaultPlan(
+            [faults.FaultSpec("write", corrupt=True, times=1)]
+        )
+        with plan:
+            faults.fire("write")  # the error channel: corrupt specs don't fire
+            assert faults.should_corrupt("write") is True
+            assert faults.should_corrupt("write") is False  # consumed
+        assert plan.fired == [("write", "corrupt")]
+
+    def test_claim_returns_a_picklable_action(self):
+        plan = faults.FaultPlan([faults.FaultSpec("w", error="shipped", times=1)])
+        with plan:
+            action = faults.claim("w")
+        assert action is not None
+        clone = pickle.loads(pickle.dumps(action))
+        with pytest.raises(faults.FaultError, match="shipped"):
+            clone.execute()
+        # The counter lives centrally: the claim consumed the only firing.
+        assert plan.fire_count("w") == 1
+
+    def test_latency_action_sleeps(self):
+        plan = faults.FaultPlan([faults.FaultSpec("slow", latency_s=0.05)])
+        with plan:
+            started = time.perf_counter()
+            faults.fire("slow")
+            assert time.perf_counter() - started >= 0.05
+        assert plan.fired == [("slow", "latency")]
+
+
+class TestActivation:
+    def test_context_manager_restores_previous_plan(self):
+        outer = faults.FaultPlan([faults.FaultSpec("o", error="outer")])
+        inner = faults.FaultPlan([faults.FaultSpec("i", error="inner")])
+        with outer:
+            assert faults.active_plan() is outer
+            with inner:
+                assert faults.active_plan() is inner
+            assert faults.active_plan() is outer
+        assert faults.active_plan() is None
+
+    def test_injected_restores_on_exception(self):
+        plan = faults.FaultPlan([faults.FaultSpec("p", error="x")])
+        with pytest.raises(RuntimeError):
+            with faults.injected(plan):
+                raise RuntimeError("unwound")
+        assert faults.active_plan() is None
+
+    def test_describe_is_json_ready(self):
+        plan = faults.FaultPlan([faults.FaultSpec("p", error="x", times=1)])
+        with plan:
+            with pytest.raises(faults.FaultError):
+                faults.fire("p")
+        described = plan.describe()
+        assert described["specs"][0]["point"] == "p"
+        assert described["hits"] == {"p": 1}
+        assert described["fired"] == [("p", "error")]
+
+
+class TestSchedule:
+    def test_events_sort_by_offset(self):
+        plan = faults.FaultPlan([faults.FaultSpec("p", error="x")])
+        schedule = faults.FaultSchedule(
+            (
+                faults.FaultEvent(2.0, None),
+                faults.FaultEvent(0.5, plan),
+            )
+        )
+        assert [event.at_s for event in schedule.events] == [0.5, 2.0]
+        assert len(schedule) == 2
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError, match="at_s"):
+            faults.FaultEvent(-1.0, None)

@@ -53,7 +53,11 @@ class TestEndpoints:
 
         status, payload = run(scenario())
         assert status == 200
-        assert payload == {"status": "ok", "version": 1, "fitted": True}
+        assert payload["status"] == "healthy"
+        assert payload["version"] == 1
+        assert payload["fitted"] is True
+        assert payload["breaker"] == "closed"
+        assert payload["staleness_s"] >= 0.0
 
     def test_rewrite_matches_engine_ground_truth(self, engine):
         async def scenario():
