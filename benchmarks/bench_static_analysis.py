@@ -1,0 +1,192 @@
+"""Gate of the static-analysis suite: every checker fires, the tree is clean.
+
+Two claims are enforced, and the measurements land in
+``BENCH_static_analysis.json`` next to this file:
+
+1. **The checkers detect.**  Each of RL001-RL005 run against its known-bad
+   fixture reports exactly the findings the fixture marks (one per
+   ``# BAD`` line, plus RL004's dead-registry-entry finding at its mini
+   registry), and reports nothing on the known-clean twin.  A checker
+   that silently stopped firing would pass the tree sweep for the wrong
+   reason; this half of the gate catches that.
+
+2. **The tree is clean, and quickly.**  The full CI invocation
+   (``src tests benchmarks``) produces zero diagnostics -- which includes
+   the suppression meta-codes, so a reasonless or stale directive also
+   fails -- and completes within a CI-friendly time budget.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest -q -s benchmarks/bench_static_analysis.py
+    PYTHONPATH=src python benchmarks/bench_static_analysis.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis.checkers import (
+    AsyncBlockingChecker,
+    DeterminismChecker,
+    FaultPointChecker,
+    LockDisciplineChecker,
+    PickleSafetyChecker,
+    all_checkers,
+)
+from repro.analysis.framework import run
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = REPO_ROOT / "tests" / "analysis" / "fixtures"
+ARTIFACT_PATH = Path(__file__).with_name("BENCH_static_analysis.json")
+
+#: The whole-tree sweep must finish within this budget (seconds).  The
+#: measured sweep is ~1s on a laptop; the ceiling leaves room for slow CI
+#: runners without letting the analyzer quietly become a minutes-long job.
+TREE_SWEEP_BUDGET_S = 60.0
+
+#: Checker -> (bad fixture, clean fixture, extra expected findings beyond
+#: the fixture's ``# BAD`` marks).  RL004 analyzes its mini registry next
+#: to the site file and expects one extra finding: the registered-but-
+#: siteless ``beta.point`` entry, reported at the registry.
+CASES = [
+    (LockDisciplineChecker, ["rl001_bad.py"], ["rl001_clean.py"], 0),
+    (AsyncBlockingChecker, ["rl002_bad.py"], ["rl002_clean.py"], 0),
+    (PickleSafetyChecker, ["rl003_bad.py"], ["rl003_clean.py"], 0),
+    (
+        FaultPointChecker,
+        ["repro/rl004_registry.py", "repro/rl004_bad.py"],
+        ["repro/rl004_registry.py", "repro/rl004_clean.py"],
+        1,
+    ),
+    (
+        DeterminismChecker,
+        ["repro/core/rl005_bad.py"],
+        ["repro/core/rl005_clean.py"],
+        0,
+    ),
+]
+
+
+def marked_findings(paths):
+    return sum(
+        line.count("# BAD")
+        for path in paths
+        for line in (FIXTURES / path).read_text().splitlines()
+    )
+
+
+def run_fixture_cases():
+    results = []
+    for checker_cls, bad, clean, extra in CASES:
+        checker = checker_cls()
+        expected = marked_findings(bad) + extra
+        bad_report = run(
+            [FIXTURES / path for path in bad],
+            checkers=[checker],
+            excludes=(),
+            root=REPO_ROOT,
+        )
+        clean_report = run(
+            [FIXTURES / path for path in clean],
+            checkers=[checker],
+            excludes=(),
+            root=REPO_ROOT,
+        )
+        results.append(
+            {
+                "code": checker.code,
+                "name": checker.name,
+                "expected_findings": expected,
+                "bad_findings": len(bad_report.diagnostics),
+                "clean_findings": len(clean_report.diagnostics),
+                "bad_diagnostics": [d.render() for d in bad_report.diagnostics],
+            }
+        )
+    return results
+
+
+def run_tree_sweep():
+    started = time.perf_counter()
+    report = run(
+        [REPO_ROOT / "src", REPO_ROOT / "tests", REPO_ROOT / "benchmarks"],
+        root=REPO_ROOT,
+    )
+    elapsed = time.perf_counter() - started
+    return {
+        "elapsed_s": elapsed,
+        "files_checked": report.files_checked,
+        "files_per_second": report.files_checked / elapsed if elapsed else None,
+        "diagnostics": [d.render() for d in report.diagnostics],
+        "count": len(report.diagnostics),
+        "checkers": report.checker_codes,
+    }
+
+
+def run_measurements():
+    return {
+        "fixture_cases": run_fixture_cases(),
+        "tree_sweep": run_tree_sweep(),
+        "registered_checkers": [c.code for c in all_checkers()],
+    }
+
+
+def write_artifact(results):
+    ARTIFACT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+
+def test_static_analysis_gate():
+    """The acceptance gate -- and the producer of BENCH_static_analysis.json."""
+    results = run_measurements()
+    write_artifact(results)
+    sweep = results["tree_sweep"]
+    print(
+        f"\ntree sweep: {sweep['files_checked']} files in "
+        f"{sweep['elapsed_s']:.2f}s ({sweep['files_per_second']:.0f} files/s), "
+        f"{sweep['count']} diagnostics; fixture cases: "
+        + ", ".join(
+            f"{case['code']} {case['bad_findings']}/{case['expected_findings']}"
+            for case in results["fixture_cases"]
+        )
+        + f"; artifact: {ARTIFACT_PATH.name}"
+    )
+    # Every checker fires on its known-bad fixture, exactly as marked...
+    for case in results["fixture_cases"]:
+        assert case["bad_findings"] == case["expected_findings"], case
+        assert case["bad_findings"] > 0, case
+        # ...and stays silent on the known-clean twin.
+        assert case["clean_findings"] == 0, case
+    # The real tree is clean (includes RL101-RL103: no reasonless or stale
+    # suppressions anywhere), and the sweep stays fast enough for CI.
+    assert sweep["count"] == 0, "\n".join(sweep["diagnostics"])
+    assert sweep["files_checked"] > 100
+    assert sweep["elapsed_s"] <= TREE_SWEEP_BUDGET_S
+    assert results["registered_checkers"] == [
+        "RL001",
+        "RL002",
+        "RL003",
+        "RL004",
+        "RL005",
+    ]
+
+
+def main() -> None:
+    results = run_measurements()
+    write_artifact(results)
+    sweep = results["tree_sweep"]
+    for case in results["fixture_cases"]:
+        print(
+            f"{case['code']} ({case['name']}): {case['bad_findings']} findings "
+            f"on known-bad (expected {case['expected_findings']}), "
+            f"{case['clean_findings']} on known-clean"
+        )
+    print(
+        f"tree sweep: {sweep['files_checked']} files, {sweep['count']} "
+        f"diagnostics in {sweep['elapsed_s']:.2f}s\n"
+        f"wrote {ARTIFACT_PATH}"
+    )
+
+
+if __name__ == "__main__":
+    main()

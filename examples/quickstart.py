@@ -88,6 +88,18 @@ built to keep answering while the refresh path misbehaves.  The pieces:
   refresh, request handling) that are free no-ops until a ``FaultPlan``
   activates them -- demonstrated at the bottom of this script, and gated
   under live traffic by ``benchmarks/bench_chaos_serving.py``.
+
+Static analysis
+---------------
+
+The concurrency and reproducibility rules this codebase lives by are
+machine-checked: ``PYTHONPATH=src python -m repro.analysis src`` (or the
+installed ``repro-lint``) runs repo-aware checkers for lock discipline,
+blocking calls on the event loop, pickle safety of process-pool payloads,
+fault-point registry integrity and determinism in ``repro.core``.  CI runs
+it over ``src tests benchmarks`` as a blocking gate; see the
+:mod:`repro.analysis` docstring for the checker catalogue and the
+suppression syntax.
 """
 
 import tempfile

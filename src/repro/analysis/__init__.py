@@ -1,0 +1,97 @@
+"""Repo-aware static analysis for the SimRank++ reproduction.
+
+Generic linters cannot see this codebase's conventions: which lock guards
+which field, that the serving tier is one event loop, that fault-point
+names are strings matched against a registry, that ``repro/core`` promises
+bit-identical scores.  This package makes those conventions executable --
+an AST-based checker suite with compiler-shaped diagnostics
+(``path:line:col CODE message``), run as ``repro-lint`` (or ``python -m
+repro.analysis``) and gating CI via the blocking ``static-analysis`` job.
+
+Static analysis
+===============
+
+Checkers
+--------
+
+===== =============== =====================================================
+RL001 lock-discipline  attributes declared lock-guarded (seed map +
+                       ``#: guarded-by:`` annotations) are only read or
+                       written inside ``with self.<lock>:`` in the owning
+                       class; helpers called with the lock held declare
+                       ``# repro-lint: requires-lock=<lock>``
+RL002 async-blocking   no ``time.sleep``, blocking socket/file IO, or bare
+                       ``.acquire()`` inside ``async def`` bodies
+RL003 pickle-safety    callables/arguments handed to
+                       ``ProcessPoolExecutor.submit/map`` must survive
+                       pickling (no lambdas, nested functions, or
+                       lock/file-holding instances)
+RL004 fault-points     fault-point sites in the ``repro`` package use names
+                       from ``repro.core.faults.FAULT_POINTS``; every
+                       registered name has at least one site
+RL005 determinism      ``repro/core`` avoids unseeded randomness,
+                       wall-clock values and hash-order set iteration
+===== =============== =====================================================
+
+Meta codes: RL100 (file did not parse), RL101 (suppression missing its
+reason), RL102 (suppression names an unknown code), RL103 (suppression
+silences nothing), RL199 (a checker crashed).  Meta codes are never
+suppressible.
+
+Running locally
+---------------
+
+.. code-block:: console
+
+   $ PYTHONPATH=src python -m repro.analysis src tests benchmarks
+   $ repro-lint --list-checkers            # with the package installed
+   $ repro-lint src --format json --json-report analysis-report.json
+
+Exit code 0 means clean, 1 means diagnostics, 2 means usage error.
+
+Annotating code
+---------------
+
+Declare a guarded field where it is first assigned::
+
+    #: guarded-by: _outcome
+    self._swaps = 0
+
+Declare a lock-held helper at its definition::
+
+    # repro-lint: requires-lock=_lock
+    def _maybe_half_open(self) -> None: ...
+
+Suppress a finding only on its own line, and only with a reason::
+
+    risky()  # repro-lint: disable=RL002 -- sanctioned: runs before the loop
+
+A reasonless suppression suppresses nothing and is itself reported.
+
+Programmatic use: :func:`repro.analysis.run` returns a
+:class:`~repro.analysis.framework.Report`; checkers subclass
+:class:`~repro.analysis.framework.Checker` and register in
+:func:`repro.analysis.checkers.all_checkers`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.framework import (
+    Checker,
+    Project,
+    Report,
+    SourceFile,
+    load_file,
+    run,
+)
+
+__all__ = [
+    "Checker",
+    "Diagnostic",
+    "Project",
+    "Report",
+    "SourceFile",
+    "load_file",
+    "run",
+]

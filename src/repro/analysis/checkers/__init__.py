@@ -1,0 +1,36 @@
+"""The checker registry: one place that knows every shipped checker.
+
+Order here is presentation order for ``repro-lint --list-checkers``;
+diagnostic ordering is positional (path/line/col) regardless.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.framework import Checker
+from repro.analysis.checkers.lock_discipline import LockDisciplineChecker
+from repro.analysis.checkers.async_blocking import AsyncBlockingChecker
+from repro.analysis.checkers.pickle_safety import PickleSafetyChecker
+from repro.analysis.checkers.fault_points import FaultPointChecker
+from repro.analysis.checkers.determinism import DeterminismChecker
+
+__all__ = [
+    "AsyncBlockingChecker",
+    "DeterminismChecker",
+    "FaultPointChecker",
+    "LockDisciplineChecker",
+    "PickleSafetyChecker",
+    "all_checkers",
+]
+
+
+def all_checkers() -> List[Checker]:
+    """Fresh instances of every registered checker, in RL-code order."""
+    return [
+        LockDisciplineChecker(),
+        AsyncBlockingChecker(),
+        PickleSafetyChecker(),
+        FaultPointChecker(),
+        DeterminismChecker(),
+    ]

@@ -1,0 +1,247 @@
+"""RL005: score computation in ``repro/core`` stays deterministic.
+
+The reproduction's headline claim is bit-identical scores for identical
+inputs -- the regression suite diffs score matrices and the benchmark
+gates compare against frozen baselines.  Three things silently break
+that without failing a single test locally:
+
+* **unseeded randomness** -- the module-level ``random.*`` functions,
+  ``random.Random()`` with no seed, ``numpy.random.default_rng()`` with
+  no seed, and the legacy ``numpy.random.*`` global generators all draw
+  from interpreter-lifetime state;
+* **wall-clock values** -- ``time.time()`` / ``time.time_ns()`` feeding
+  anything that orders or scores (monotonic timing for *measurement* is
+  fine and not flagged);
+* **set-order iteration** -- iterating a ``set``/``frozenset``/set
+  comprehension (directly, or via ``list``/``tuple``/``enumerate``/
+  ``iter``) visits elements in hash order, which for strings varies with
+  ``PYTHONHASHSEED``.  Two runs produce differently-ordered accumulations
+  and, under floating-point addition, different scores.  ``sorted(...)``
+  over a set is the sanctioned spelling; order-preserving dedup is
+  ``dict.fromkeys(...)``.
+
+Scope: files under ``repro/core`` only (the checker keys on path
+segments, so fixture trees mirroring the package layout are checked
+too), minus :data:`ALLOWLIST` -- fault injection deliberately deals in
+wall-clock latencies.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Union
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.framework import (
+    Checker,
+    Project,
+    SourceFile,
+    dotted_name,
+    import_aliases,
+)
+
+__all__ = ["ALLOWLIST", "UNSEEDED_RANDOM", "DeterminismChecker"]
+
+#: Path suffixes (posix) exempt from the determinism rules.
+ALLOWLIST = ("repro/core/faults.py",)
+
+#: Module-level RNG entry points that draw from unseeded global state.
+UNSEEDED_RANDOM = frozenset(
+    {
+        "random.random",
+        "random.randrange",
+        "random.randint",
+        "random.choice",
+        "random.choices",
+        "random.shuffle",
+        "random.sample",
+        "random.uniform",
+        "random.gauss",
+        "random.normalvariate",
+        "random.betavariate",
+        "random.expovariate",
+        "random.triangular",
+        "numpy.random.rand",
+        "numpy.random.randn",
+        "numpy.random.randint",
+        "numpy.random.random",
+        "numpy.random.random_sample",
+        "numpy.random.choice",
+        "numpy.random.shuffle",
+        "numpy.random.permutation",
+        "numpy.random.uniform",
+        "numpy.random.normal",
+    }
+)
+
+_WALLCLOCK = frozenset({"time.time", "time.time_ns"})
+
+#: Constructors that are unseeded only when called with no arguments.
+_SEEDABLE_FACTORIES = frozenset({"random.Random", "numpy.random.default_rng"})
+
+_ITER_WRAPPERS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+_Scope = Union[ast.Module, ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+class DeterminismChecker(Checker):
+    code = "RL005"
+    name = "determinism"
+    description = (
+        "repro/core must not use unseeded randomness, wall-clock values, or "
+        "hash-order set iteration in score computation"
+    )
+
+    def check_file(self, file: SourceFile, project: Project) -> Iterator[Diagnostic]:
+        assert file.tree is not None
+        if not file.in_package_dir("repro", "core"):
+            return
+        posix = file.path.as_posix()
+        if any(posix.endswith(suffix) for suffix in ALLOWLIST):
+            return
+        aliases = import_aliases(file.tree)
+        for scope in _scopes(file.tree):
+            yield from self._check_scope(file, scope, aliases)
+
+    def _check_scope(
+        self, file: SourceFile, scope: _Scope, aliases: Dict[str, str]
+    ) -> Iterator[Diagnostic]:
+        nodes = list(_scope_nodes(scope))
+        set_names = _set_bound_names(nodes)
+        for node in nodes:
+            if isinstance(node, ast.Call):
+                yield from self._check_call(file, node, aliases, set_names)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_iteration(
+                    file, node.iter, aliases, set_names, context="for-loop"
+                )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for generator in node.generators:
+                    yield from self._check_iteration(
+                        file, generator.iter, aliases, set_names, context="comprehension"
+                    )
+
+    def _check_call(
+        self,
+        file: SourceFile,
+        node: ast.Call,
+        aliases: Dict[str, str],
+        set_names: Set[str],
+    ) -> Iterator[Diagnostic]:
+        target = dotted_name(node.func, aliases)
+        if target in UNSEEDED_RANDOM:
+            yield self._diag(
+                file,
+                node,
+                f"{target}() draws from the unseeded global RNG; construct a "
+                "seeded generator (random.Random(seed) / "
+                "numpy.random.default_rng(seed)) and thread it through",
+            )
+        elif target in _SEEDABLE_FACTORIES and not node.args and not node.keywords:
+            yield self._diag(
+                file,
+                node,
+                f"{target}() without a seed is nondeterministic; pass an "
+                "explicit seed",
+            )
+        elif target in _WALLCLOCK:
+            yield self._diag(
+                file,
+                node,
+                f"{target}() feeds wall-clock state into core computation; "
+                "results must be a function of the input graph only (use "
+                "time.monotonic() in measurement code outside repro/core)",
+            )
+        elif target in _ITER_WRAPPERS and node.args:
+            yield from self._check_iteration(
+                file, node.args[0], aliases, set_names, context=f"{target}()"
+            )
+
+    def _check_iteration(
+        self,
+        file: SourceFile,
+        iterable: ast.expr,
+        aliases: Dict[str, str],
+        set_names: Set[str],
+        context: str,
+    ) -> Iterator[Diagnostic]:
+        described = _describe_set_expr(iterable, aliases, set_names)
+        if described is not None:
+            yield self._diag(
+                file,
+                iterable,
+                f"{context} iterates {described} in hash order, which varies "
+                "with PYTHONHASHSEED; iterate sorted(...) or dedup with "
+                "dict.fromkeys(...) to fix the order",
+            )
+
+    def _diag(self, file: SourceFile, node: ast.AST, message: str) -> Diagnostic:
+        return Diagnostic(
+            path=file.display,
+            line=node.lineno,
+            col=node.col_offset + 1,
+            code=self.code,
+            message=message,
+        )
+
+
+# ------------------------------------------------------------- scope helpers
+
+
+def _scopes(tree: ast.Module) -> Iterator[_Scope]:
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _scope_nodes(scope: _Scope) -> Iterator[ast.AST]:
+    """Nodes belonging to ``scope``, not descending into nested functions."""
+
+    def inner(node: ast.AST) -> Iterator[ast.AST]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            yield child
+            yield from inner(child)
+
+    return inner(scope)
+
+
+def _set_bound_names(nodes: List[ast.AST]) -> Set[str]:
+    """Local names assigned a set expression anywhere in the scope."""
+    names: Set[str] = set()
+    for node in nodes:
+        if isinstance(node, ast.Assign) and _is_set_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"set", "frozenset"}
+    )
+
+
+def _describe_set_expr(
+    node: ast.expr, aliases: Dict[str, str], set_names: Set[str]
+) -> Optional[str]:
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"set", "frozenset"}
+    ):
+        return f"a {node.func.id}()"
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return f"{node.id!r} (bound to a set in this scope)"
+    return None

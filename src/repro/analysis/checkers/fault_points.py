@@ -1,0 +1,179 @@
+"""RL004: fault-point names stay in sync with the central registry.
+
+Fault points are strings compiled into hot paths (``faults.fire(
+"engine.refresh")``) and armed by name in test plans.  A typo on either
+side does not error -- it produces a fault point that can never fire or a
+plan that never injects, and the chaos test quietly stops testing
+anything.  This checker closes the loop against
+``repro.core.faults.FAULT_POINTS``, the authoritative registry:
+
+* every ``faults.fire/claim/should_corrupt("<name>")`` site inside the
+  ``repro`` package must use a registered name (test/benchmark code is
+  out of scope -- tests legitimately exercise :class:`FaultPlan` with
+  scratch names);
+* every registered name must have at least one site in the analyzed tree,
+  so dead registry entries (an instrumented path that was deleted) are
+  reported at the registry definition.
+
+The registry is read statically -- an analyzed file assigning
+``FAULT_POINTS = frozenset({...})`` of string literals -- falling back to
+importing :data:`repro.core.faults.FAULT_POINTS` when the defining module
+is outside the analyzed set.  The completeness pass needs both a parsed
+registry and at least one observed site, so pointing the analyzer at the
+registry file alone does not report every point as dead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.framework import (
+    Checker,
+    Project,
+    SourceFile,
+    dotted_name,
+    import_aliases,
+)
+
+__all__ = ["FaultPointChecker", "SITE_FUNCTIONS"]
+
+#: The module-level fault-point entry functions, by dotted name.
+SITE_FUNCTIONS = frozenset(
+    {
+        "repro.core.faults.fire",
+        "repro.core.faults.claim",
+        "repro.core.faults.should_corrupt",
+    }
+)
+
+_SCRATCH_KEY = "RL004"
+
+
+class FaultPointChecker(Checker):
+    code = "RL004"
+    name = "fault-points"
+    description = (
+        "fire/claim/should_corrupt sites in the repro package use names from "
+        "repro.core.faults.FAULT_POINTS; every registered name has a site"
+    )
+
+    def check_file(self, file: SourceFile, project: Project) -> Iterator[Diagnostic]:
+        assert file.tree is not None
+        state = self._state(project)
+        aliases = import_aliases(file.tree)
+        in_scope = file.in_package_dir("repro")
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = dotted_name(node.func, aliases)
+            if target not in SITE_FUNCTIONS:
+                continue
+            point = _literal_point(node)
+            if point is None:
+                continue
+            state["sites"].add(point)
+            if in_scope and state["registry"] and point not in state["registry"]:
+                known = ", ".join(sorted(state["registry"]))
+                yield Diagnostic(
+                    path=file.display,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    code=self.code,
+                    message=(
+                        f"fault point {point!r} is not registered in "
+                        f"repro.core.faults.FAULT_POINTS (known points: "
+                        f"{known}); register it or fix the name"
+                    ),
+                )
+
+    def finalize(self, project: Project) -> Iterator[Diagnostic]:
+        state = self._state(project)
+        definitions: List[Tuple[str, int, Set[str]]] = state["definitions"]
+        if not definitions or not state["sites"]:
+            return
+        for display, lineno, names in definitions:
+            for point in sorted(names - state["sites"]):
+                yield Diagnostic(
+                    path=display,
+                    line=lineno,
+                    col=1,
+                    code=self.code,
+                    message=(
+                        f"fault point {point!r} is registered but has no "
+                        "fire/claim/should_corrupt site in the analyzed tree; "
+                        "instrument a path or drop the registry entry"
+                    ),
+                )
+
+    # --------------------------------------------------------------- registry
+
+    def _state(self, project: Project) -> Dict[str, object]:
+        """Lazily resolve the registry once per run, via project scratch."""
+        state = project.scratch.get(_SCRATCH_KEY)
+        if state is not None:
+            return state
+        definitions: List[Tuple[str, int, Set[str]]] = []
+        registry: Set[str] = set()
+        for file in project.files:
+            if file.tree is None:
+                continue
+            parsed = _parse_registry(file.tree)
+            if parsed is not None:
+                lineno, names = parsed
+                definitions.append((file.display, lineno, names))
+                registry.update(names)
+        if not registry:
+            registry = _imported_registry()
+        state = {"definitions": definitions, "registry": registry, "sites": set()}
+        project.scratch[_SCRATCH_KEY] = state
+        return state
+
+
+def _parse_registry(tree: ast.Module) -> Optional[Tuple[int, Set[str]]]:
+    """A module-level ``FAULT_POINTS = frozenset({...})`` literal, if any."""
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "FAULT_POINTS"
+        ):
+            names = _literal_strings(node.value)
+            if names is not None:
+                return node.lineno, names
+    return None
+
+
+def _literal_strings(node: ast.expr) -> Optional[Set[str]]:
+    if isinstance(node, ast.Call) and not node.keywords and len(node.args) == 1:
+        target = dotted_name(node.func)
+        if target == "frozenset":
+            return _literal_strings(node.args[0])
+        return None
+    if isinstance(node, (ast.Set, ast.List, ast.Tuple)):
+        names: Set[str] = set()
+        for element in node.elts:
+            if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+                return None
+            names.add(element.value)
+        return names
+    return None
+
+
+def _imported_registry() -> Set[str]:
+    """Fallback when ``repro.core.faults`` is outside the analyzed set."""
+    try:
+        from repro.core.faults import FAULT_POINTS
+    except Exception:  # pragma: no cover - analysis of a foreign tree
+        return set()
+    return set(FAULT_POINTS)
+
+
+def _literal_point(call: ast.Call) -> Optional[str]:
+    if call.args and isinstance(call.args[0], ast.Constant):
+        value = call.args[0].value
+        if isinstance(value, str):
+            return value
+    return None

@@ -1,0 +1,263 @@
+"""RL003: everything shipped to a process pool must survive pickling.
+
+The sharded fitter farms work out through ``ProcessPoolExecutor``; unlike
+thread pools, every callable and argument crosses a process boundary via
+pickle.  Three classes of value pass a type-check but explode (or worse,
+silently misbehave) at submit time:
+
+* **lambdas and nested functions** -- pickle serializes functions by
+  qualified name, and ``fit.<locals>.job`` cannot be looked up from the
+  worker.  This fails only at runtime, typically inside a future, where
+  the traceback points at the pool rather than the definition site;
+
+* **bound methods and instances of lock/handle-carrying classes** -- a
+  bound method pickles ``self`` with it, so ``pool.submit(plan.fire)``
+  drags a ``threading.Lock`` (unpicklable) or an open file handle (whose
+  descriptor is meaningless in the child) across the boundary.
+
+The checker resolves the executor by construction site (``pool =
+ProcessPoolExecutor(...)`` or ``with ProcessPoolExecutor(...) as pool:``)
+and inspects every ``pool.submit(...)`` / ``pool.map(...)`` in the file.
+Classes are deemed lock/handle-carrying when any of their methods assigns
+``self.<attr>`` from ``threading.{Lock,RLock,Condition,Semaphore,...}`` or
+builtin ``open``.  Names it cannot resolve are given the benefit of the
+doubt -- the point is to catch the local, obvious hazards the type system
+cannot.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.framework import (
+    Checker,
+    Project,
+    SourceFile,
+    dotted_name,
+    import_aliases,
+)
+
+__all__ = ["PickleSafetyChecker", "UNPICKLABLE_FACTORIES"]
+
+#: Constructors whose result cannot cross a process boundary.
+UNPICKLABLE_FACTORIES: Dict[str, str] = {
+    "threading.Lock": "a threading.Lock",
+    "threading.RLock": "a threading.RLock",
+    "threading.Condition": "a threading.Condition",
+    "threading.Semaphore": "a threading.Semaphore",
+    "threading.BoundedSemaphore": "a threading.BoundedSemaphore",
+    "threading.Event": "a threading.Event",
+    "open": "an open file handle",
+}
+
+_EXECUTOR_NAMES = frozenset(
+    {
+        "concurrent.futures.ProcessPoolExecutor",
+        "concurrent.futures.process.ProcessPoolExecutor",
+    }
+)
+
+_SUBMIT_METHODS = frozenset({"submit", "map"})
+
+
+class PickleSafetyChecker(Checker):
+    code = "RL003"
+    name = "pickle-safety"
+    description = (
+        "callables/arguments handed to ProcessPoolExecutor.submit/map must "
+        "be picklable: no lambdas, nested functions, or lock/file-holding "
+        "instances"
+    )
+
+    def check_file(self, file: SourceFile, project: Project) -> Iterator[Diagnostic]:
+        assert file.tree is not None
+        tree = file.tree
+        aliases = import_aliases(tree)
+        executors = _executor_names(tree, aliases)
+        if not executors:
+            return
+        unsafe_classes = _unsafe_classes(tree, aliases)
+        unpicklable_names = _unpicklable_local_names(tree)
+        parents = _parent_map(tree)
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SUBMIT_METHODS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in executors
+            ):
+                owner = _enclosing_class(node, parents)
+                yield from self._check_submit(
+                    file,
+                    node,
+                    aliases,
+                    unsafe_classes,
+                    unpicklable_names,
+                    owner,
+                )
+
+    def _check_submit(
+        self,
+        file: SourceFile,
+        call: ast.Call,
+        aliases: Dict[str, str],
+        unsafe_classes: Dict[str, str],
+        unpicklable_names: Set[str],
+        owner: Optional[str],
+    ) -> Iterator[Diagnostic]:
+        method = call.func.attr  # type: ignore[union-attr]
+        values: List[ast.expr] = list(call.args)
+        values.extend(k.value for k in call.keywords if k.value is not None)
+        for index, value in enumerate(values):
+            role = "callable" if index == 0 else "argument"
+            problem = self._diagnose_value(
+                value, aliases, unsafe_classes, unpicklable_names, owner
+            )
+            if problem is not None:
+                yield Diagnostic(
+                    path=file.display,
+                    line=value.lineno,
+                    col=value.col_offset + 1,
+                    code=self.code,
+                    message=(
+                        f"{role} passed to ProcessPoolExecutor.{method}() "
+                        f"{problem} -- it cannot cross the process boundary; "
+                        "pass a module-level function and plain data instead"
+                    ),
+                )
+
+    def _diagnose_value(
+        self,
+        value: ast.expr,
+        aliases: Dict[str, str],
+        unsafe_classes: Dict[str, str],
+        unpicklable_names: Set[str],
+        owner: Optional[str],
+    ) -> Optional[str]:
+        if isinstance(value, ast.Lambda):
+            return "is a lambda (pickled by qualified name, which a worker cannot resolve)"
+        if isinstance(value, ast.Name):
+            if value.id in unpicklable_names:
+                return (
+                    f"is {value.id!r}, a nested function or lambda binding "
+                    "(its qualified name cannot be resolved from a worker)"
+                )
+            if value.id == "self" and owner in unsafe_classes:
+                return (
+                    f"is `self`, an instance of {owner} which holds "
+                    f"{unsafe_classes[owner]}"
+                )
+        if (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+            and owner in unsafe_classes
+        ):
+            return (
+                f"is the bound method self.{value.attr} -- pickling it "
+                f"pickles the whole {owner} instance, which holds "
+                f"{unsafe_classes[owner]}"
+            )
+        if isinstance(value, ast.Call):
+            target = dotted_name(value.func, aliases)
+            if target is not None:
+                tail = target.rsplit(".", 1)[-1]
+                if tail in unsafe_classes:
+                    return (
+                        f"constructs a {tail} instance, which holds "
+                        f"{unsafe_classes[tail]}"
+                    )
+        return None
+
+
+# ------------------------------------------------------------ module scans
+
+
+def _executor_names(tree: ast.Module, aliases: Dict[str, str]) -> Set[str]:
+    """Names bound to a ``ProcessPoolExecutor(...)`` construction."""
+
+    def is_executor_call(node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and dotted_name(node.func, aliases) in _EXECUTOR_NAMES
+        )
+
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and is_executor_call(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if (
+                    is_executor_call(item.context_expr)
+                    and isinstance(item.optional_vars, ast.Name)
+                ):
+                    names.add(item.optional_vars.id)
+    return names
+
+
+def _unsafe_classes(tree: ast.Module, aliases: Dict[str, str]) -> Dict[str, str]:
+    """Same-module classes whose instances hold a lock or file handle."""
+    unsafe: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for inner in ast.walk(node):
+            if (
+                isinstance(inner, ast.Assign)
+                and isinstance(inner.value, ast.Call)
+                and any(
+                    isinstance(t, ast.Attribute)
+                    and isinstance(t.value, ast.Name)
+                    and t.value.id == "self"
+                    for t in inner.targets
+                )
+            ):
+                target = dotted_name(inner.value.func, aliases)
+                if target in UNPICKLABLE_FACTORIES:
+                    unsafe.setdefault(node.name, UNPICKLABLE_FACTORIES[target])
+    return unsafe
+
+
+def _unpicklable_local_names(tree: ast.Module) -> Set[str]:
+    """Names of function-nested defs and lambda bindings, module-wide.
+
+    A def nested inside any function gets a ``<locals>`` qualified name,
+    and a name assigned a lambda gets ``<lambda>`` -- neither can be
+    re-imported by a worker process.
+    """
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for inner in ast.walk(node):
+                if inner is node:
+                    continue
+                if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    names.add(inner.name)
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _parent_map(tree: ast.Module) -> Dict[int, ast.AST]:
+    parents: Dict[int, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def _enclosing_class(node: ast.AST, parents: Dict[int, ast.AST]) -> Optional[str]:
+    current: Optional[ast.AST] = parents.get(id(node))
+    while current is not None:
+        if isinstance(current, ast.ClassDef):
+            return current.name
+        current = parents.get(id(current))
+    return None

@@ -1,0 +1,96 @@
+"""The ``repro-lint`` command line (also ``python -m repro.analysis``).
+
+Exit codes follow compiler convention: 0 clean, 1 diagnostics found,
+2 usage error.  ``--json-report`` writes the machine-readable report (the
+CI artifact) regardless of the chosen terminal format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.framework import DEFAULT_EXCLUDES, run
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Repo-aware static analysis: lock discipline (RL001), "
+            "async-blocking (RL002), pickle-safety (RL003), fault-point "
+            "integrity (RL004), determinism (RL005)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="terminal output format (default: human)",
+    )
+    parser.add_argument(
+        "--json-report",
+        metavar="FILE",
+        default=None,
+        help="also write the full JSON report to FILE",
+    )
+    parser.add_argument(
+        "--list-checkers",
+        action="store_true",
+        help="print the registered checkers and exit",
+    )
+    parser.add_argument(
+        "--no-default-excludes",
+        action="store_true",
+        help=(
+            "analyze paths the default excludes skip "
+            f"({', '.join(DEFAULT_EXCLUDES)})"
+        ),
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_checkers:
+        from repro.analysis.checkers import all_checkers
+
+        for checker in all_checkers():
+            print(f"{checker.code}  {checker.name}: {checker.description}")
+        return 0
+
+    missing = [path for path in options.paths if not Path(path).exists()]
+    if missing:
+        parser.error(f"no such path: {', '.join(missing)}")  # exits 2
+
+    excludes = () if options.no_default_excludes else DEFAULT_EXCLUDES
+    report = run(options.paths, excludes=excludes)
+
+    if options.json_report:
+        Path(options.json_report).write_text(
+            json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    if options.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        for line in report.render_lines():
+            print(line)
+
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

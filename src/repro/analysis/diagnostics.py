@@ -1,0 +1,68 @@
+"""Diagnostic records and rendering for the static-analysis suite.
+
+A :class:`Diagnostic` is one finding at one source location.  Rendering is
+deliberately compiler-shaped -- ``path:line:col CODE message`` -- so editor
+quickfix lists, CI log scanners and humans all parse the same line, and the
+JSON form carries the identical fields for the uploaded CI artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["Diagnostic", "render_human", "report_payload"]
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: where (``path:line:col``), what (``code``), and why.
+
+    Field order doubles as sort order, so a sorted diagnostic list reads
+    file by file, top to bottom -- the order a reviewer fixes things in.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical one-line form: ``path:line:col CODE message``."""
+        return f"{self.path}:{self.line}:{self.col} {self.code} {self.message}"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+def render_human(diagnostics: Sequence[Diagnostic]) -> List[str]:
+    """One rendered line per diagnostic plus a count trailer."""
+    lines = [diagnostic.render() for diagnostic in diagnostics]
+    noun = "diagnostic" if len(diagnostics) == 1 else "diagnostics"
+    lines.append(f"{len(diagnostics)} {noun}")
+    return lines
+
+
+def report_payload(
+    diagnostics: Sequence[Diagnostic],
+    files_checked: int,
+    checker_codes: Sequence[str],
+) -> Dict[str, Any]:
+    """The JSON report body written by ``repro-lint --json-report``."""
+    by_code: Dict[str, int] = {}
+    for diagnostic in diagnostics:
+        by_code[diagnostic.code] = by_code.get(diagnostic.code, 0) + 1
+    return {
+        "files_checked": files_checked,
+        "checkers": list(checker_codes),
+        "diagnostics": [diagnostic.to_json() for diagnostic in diagnostics],
+        "count": len(diagnostics),
+        "by_code": {code: by_code[code] for code in sorted(by_code)},
+    }

@@ -1,0 +1,360 @@
+"""The checker framework: source loading, visitor registry, the run loop.
+
+A :class:`Checker` sees one parsed :class:`SourceFile` at a time
+(:meth:`Checker.check_file`) plus a :meth:`Checker.finalize` pass over the
+whole :class:`Project` for cross-file invariants (RL004's "every registered
+fault point has a site" lives there).  The :func:`run` loop owns everything
+checkers should not re-implement: file discovery, AST parsing, the
+suppression lifecycle (silence -> mark used -> report stale directives) and
+deterministic ordering of the output.
+
+Checkers are pure: they yield :class:`~repro.analysis.diagnostics.
+Diagnostic` records and never mutate the tree, so one parse serves all of
+them and a checker crash (reported as RL199, never raised) cannot poison
+its neighbours.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.diagnostics import Diagnostic, render_human, report_payload
+from repro.analysis.suppressions import (
+    Suppression,
+    comment_map,
+    parse_suppressions,
+    suppression_diagnostics,
+)
+
+__all__ = [
+    "Checker",
+    "Project",
+    "Report",
+    "SourceFile",
+    "CODE_PARSE_ERROR",
+    "CODE_CHECKER_ERROR",
+    "DEFAULT_EXCLUDES",
+    "dotted_name",
+    "import_aliases",
+    "load_file",
+    "run",
+]
+
+#: A file the analyzer was pointed at but could not parse.
+CODE_PARSE_ERROR = "RL100"
+#: A checker raised instead of yielding diagnostics -- a bug in the checker,
+#: surfaced as a finding so CI fails loudly instead of silently under-checking.
+CODE_CHECKER_ERROR = "RL199"
+
+#: Path fragments never analyzed by default: bytecode caches, and the
+#: known-bad lint fixtures which exist precisely to contain violations.
+DEFAULT_EXCLUDES: Tuple[str, ...] = ("__pycache__", "tests/analysis/fixtures")
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class SourceFile:
+    """One parsed source file plus the comment/suppression side channels."""
+
+    path: Path
+    display: str
+    text: str
+    tree: Optional[ast.Module]
+    parse_error: Optional[Diagnostic]
+    comments: Dict[int, str]
+    suppressions: List[Suppression]
+
+    @property
+    def parts(self) -> Tuple[str, ...]:
+        return self.path.parts
+
+    def comment_on(self, line: int) -> str:
+        """The comment on ``line`` (empty string when there is none)."""
+        return self.comments.get(line, "")
+
+    def in_package_dir(self, *segments: str) -> bool:
+        """Whether consecutive ``segments`` appear in this file's path.
+
+        The path-scoping primitive: ``file.in_package_dir("repro", "core")``
+        is true for ``src/repro/core/simrank.py`` and for fixture trees that
+        mirror the package layout (``tests/analysis/fixtures/repro/core/``
+        -- which is how scoped checkers stay fixture-testable).
+        """
+        parts = self.parts
+        span = len(segments)
+        return any(
+            parts[i : i + span] == segments for i in range(len(parts) - span + 1)
+        )
+
+
+@dataclass
+class Project:
+    """Everything one :func:`run` invocation analyzed, for cross-file passes."""
+
+    root: Path
+    files: List[SourceFile] = field(default_factory=list)
+    #: Free-form scratch space keyed by checker code, carried from the
+    #: per-file pass to :meth:`Checker.finalize`.
+    scratch: Dict[str, Any] = field(default_factory=dict)
+
+
+class Checker:
+    """Base class: subclasses set ``code``/``name`` and override the hooks."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check_file(self, file: SourceFile, project: Project) -> Iterable[Diagnostic]:
+        return ()
+
+    def finalize(self, project: Project) -> Iterable[Diagnostic]:
+        return ()
+
+
+@dataclass
+class Report:
+    """The outcome of one analysis run, renderable as text or JSON."""
+
+    diagnostics: List[Diagnostic]
+    files_checked: int
+    checker_codes: List[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    def render_lines(self) -> List[str]:
+        return render_human(self.diagnostics)
+
+    def to_json(self) -> Dict[str, Any]:
+        return report_payload(self.diagnostics, self.files_checked, self.checker_codes)
+
+
+# ------------------------------------------------------------ shared helpers
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> dotted origin for every import in the module.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from time import sleep``
+    maps ``sleep -> time.sleep``.  Relative imports keep their dots -- the
+    checkers only match absolute stdlib/package names, so a relative origin
+    simply never matches.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                aliases[name.asname or name.name.split(".")[0]] = (
+                    name.name if name.asname else name.name.split(".")[0]
+                )
+                if name.asname:
+                    aliases[name.asname] = name.name
+        elif isinstance(node, ast.ImportFrom):
+            module = ("." * node.level) + (node.module or "")
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                aliases[name.asname or name.name] = f"{module}.{name.name}"
+    return aliases
+
+
+def dotted_name(node: ast.AST, aliases: Optional[Dict[str, str]] = None) -> Optional[str]:
+    """Resolve ``Name``/``Attribute`` chains to a dotted string.
+
+    With an alias map, the leading segment is translated through the
+    module's imports, so ``np.random.rand`` resolves to
+    ``numpy.random.rand`` regardless of the local spelling.  Returns None
+    for anything that is not a plain name chain (calls, subscripts).
+    """
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    head = current.id
+    if aliases and head in aliases:
+        head = aliases[head]
+    parts.append(head)
+    return ".".join(reversed(parts))
+
+
+# -------------------------------------------------------------- the run loop
+
+
+def load_file(path: PathLike, root: Optional[PathLike] = None) -> SourceFile:
+    """Read, tokenize and parse one file (parse failure becomes RL100)."""
+    resolved = Path(path)
+    display = _display_path(resolved, Path(root) if root is not None else Path.cwd())
+    try:
+        text = resolved.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return SourceFile(
+            path=resolved,
+            display=display,
+            text="",
+            tree=None,
+            parse_error=Diagnostic(
+                path=display,
+                line=1,
+                col=1,
+                code=CODE_PARSE_ERROR,
+                message=f"cannot read file: {exc}",
+            ),
+            comments={},
+            suppressions=[],
+        )
+    tree: Optional[ast.Module] = None
+    parse_error: Optional[Diagnostic] = None
+    try:
+        tree = ast.parse(text, filename=str(resolved))
+    except SyntaxError as exc:
+        parse_error = Diagnostic(
+            path=display,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1),
+            code=CODE_PARSE_ERROR,
+            message=f"syntax error: {exc.msg}",
+        )
+    comments = comment_map(text)
+    return SourceFile(
+        path=resolved,
+        display=display,
+        text=text,
+        tree=tree,
+        parse_error=parse_error,
+        comments=comments,
+        suppressions=parse_suppressions(comments),
+    )
+
+
+def _display_path(path: Path, root: Path) -> str:
+    try:
+        return os.path.relpath(path, root)
+    except ValueError:  # different drive on windows
+        return str(path)
+
+
+def discover(
+    paths: Sequence[PathLike], excludes: Sequence[str] = DEFAULT_EXCLUDES
+) -> List[Path]:
+    """Expand files/directories into the sorted list of ``.py`` files."""
+    found: List[Path] = []
+    for entry in paths:
+        target = Path(entry)
+        if target.is_dir():
+            found.extend(sorted(target.rglob("*.py")))
+        elif target.suffix == ".py":
+            found.append(target)
+    unique: List[Path] = []
+    seen = set()
+    for path in found:
+        posix = path.as_posix()
+        if any(exclude in posix for exclude in excludes):
+            continue
+        if posix not in seen:
+            seen.add(posix)
+            unique.append(path)
+    return unique
+
+
+def run(
+    paths: Sequence[PathLike],
+    checkers: Optional[Sequence[Checker]] = None,
+    excludes: Sequence[str] = DEFAULT_EXCLUDES,
+    root: Optional[PathLike] = None,
+) -> Report:
+    """Analyze ``paths`` with ``checkers`` (default: every registered checker).
+
+    The pipeline per file: parse, run each checker, silence diagnostics a
+    reasoned same-line ``disable=`` directive covers (marking it used), and
+    keep the rest.  After every file: each checker's cross-file
+    :meth:`~Checker.finalize`, then the suppression meta-diagnostics
+    (missing reason / unknown code / unused), then one global sort.
+    """
+    if checkers is None:
+        from repro.analysis.checkers import all_checkers
+
+        checkers = all_checkers()
+    base = Path(root) if root is not None else Path.cwd()
+    project = Project(root=base)
+    for path in discover(paths, excludes):
+        project.files.append(load_file(path, root=base))
+
+    known_codes = _known_codes(checkers)
+    diagnostics: List[Diagnostic] = []
+    for file in project.files:
+        if file.parse_error is not None:
+            diagnostics.append(file.parse_error)
+        if file.tree is None:
+            continue
+        raw: List[Diagnostic] = []
+        for checker in checkers:
+            raw.extend(_guarded(checker, file, project))
+        diagnostics.extend(_apply_suppressions(file, raw))
+    for checker in checkers:
+        try:
+            finals = list(checker.finalize(project))
+        except Exception as exc:  # pragma: no cover - checker bug surface
+            finals = [_checker_crash(checker, "<finalize>", exc)]
+        diagnostics.extend(finals)
+    for file in project.files:
+        diagnostics.extend(
+            suppression_diagnostics(file.display, file.suppressions, known_codes)
+        )
+    diagnostics.sort()
+    return Report(
+        diagnostics=diagnostics,
+        files_checked=len(project.files),
+        checker_codes=[checker.code for checker in checkers],
+    )
+
+
+def _known_codes(checkers: Sequence[Checker]) -> List[str]:
+    return [checker.code for checker in checkers]
+
+
+def _guarded(
+    checker: Checker, file: SourceFile, project: Project
+) -> List[Diagnostic]:
+    try:
+        return list(checker.check_file(file, project))
+    except Exception as exc:  # pragma: no cover - checker bug surface
+        return [_checker_crash(checker, file.display, exc)]
+
+
+def _checker_crash(checker: Checker, where: str, exc: Exception) -> Diagnostic:
+    return Diagnostic(
+        path=where,
+        line=1,
+        col=1,
+        code=CODE_CHECKER_ERROR,
+        message=f"checker {checker.code} ({checker.name}) crashed: "
+        f"{type(exc).__name__}: {exc}",
+    )
+
+
+def _apply_suppressions(file: SourceFile, raw: List[Diagnostic]) -> List[Diagnostic]:
+    """Drop diagnostics a reasoned same-line directive covers; mark it used."""
+    kept: List[Diagnostic] = []
+    by_line: Dict[int, List[Suppression]] = {}
+    for suppression in file.suppressions:
+        by_line.setdefault(suppression.line, []).append(suppression)
+    for diagnostic in raw:
+        silenced = False
+        for suppression in by_line.get(diagnostic.line, ()):
+            if suppression.covers(diagnostic.code):
+                suppression.mark_used(diagnostic.code)
+                silenced = True
+                break
+        if not silenced:
+            kept.append(diagnostic)
+    return kept

@@ -1,0 +1,175 @@
+"""Inline suppressions: ``# repro-lint: disable=CODE -- reason``.
+
+A finding may be silenced on its own line with a trailing comment::
+
+    risky_call()  # repro-lint: disable=RL002 -- sanctioned: runs pre-loop
+
+The grammar is deliberately strict:
+
+* the reason (everything after ``--``) is **mandatory** -- a suppression
+  without one does not suppress anything and is itself reported (RL101),
+  so "why is this exempt" is always answerable from the diff;
+* the code list must name known checker codes (unknown ones are RL102);
+* a suppression that silences nothing is dead weight and reported (RL103),
+  so fixed findings cannot leave stale exemptions behind.
+
+Comments are extracted with :mod:`tokenize`, never by string-scanning
+source lines, so a ``#`` inside a string literal can never be mistaken for
+a directive.  The same comment map serves the checkers' own annotations
+(``#: guarded-by: <lock>``, ``# repro-lint: requires-lock=<lock>``).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.analysis.diagnostics import Diagnostic
+
+__all__ = [
+    "Suppression",
+    "comment_map",
+    "parse_suppressions",
+    "suppression_diagnostics",
+    "CODE_BAD_SUPPRESSION",
+    "CODE_UNKNOWN_CODE",
+    "CODE_UNUSED_SUPPRESSION",
+]
+
+#: Meta-diagnostics about the suppression mechanism itself.  They are not
+#: suppressible: a directive problem must be fixed, not waved through.
+CODE_BAD_SUPPRESSION = "RL101"
+CODE_UNKNOWN_CODE = "RL102"
+CODE_UNUSED_SUPPRESSION = "RL103"
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<codes>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s*--\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``disable=`` directive and its use tracking."""
+
+    line: int
+    col: int
+    codes: List[str]
+    reason: str
+    #: Codes that actually silenced at least one diagnostic this run.
+    used: Set[str] = field(default_factory=set)
+
+    @property
+    def has_reason(self) -> bool:
+        return bool(self.reason)
+
+    def covers(self, code: str) -> bool:
+        """Whether this directive is entitled to silence ``code``.
+
+        Reasonless directives cover nothing: the finding they point at is
+        still reported, alongside the RL101 about the directive itself.
+        """
+        return self.has_reason and code in self.codes
+
+    def mark_used(self, code: str) -> None:
+        self.used.add(code)
+
+
+def comment_map(text: str) -> Dict[int, str]:
+    """``line -> comment text`` for every comment token in ``text``.
+
+    Tokenization errors (the file may not even be valid Python -- the
+    runner reports that separately) yield whatever comments were seen
+    before the error.
+    """
+    comments: Dict[int, str] = {}
+    reader = io.StringIO(text).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        pass
+    return comments
+
+
+def parse_suppressions(comments: Dict[int, str]) -> List[Suppression]:
+    """Extract every ``disable=`` directive from a file's comment map."""
+    suppressions: List[Suppression] = []
+    for line, comment in sorted(comments.items()):
+        match = _DIRECTIVE.search(comment)
+        if match is None:
+            continue
+        codes = [code.strip() for code in match.group("codes").split(",")]
+        suppressions.append(
+            Suppression(
+                line=line,
+                col=1,
+                codes=[code for code in codes if code],
+                reason=(match.group("reason") or "").strip(),
+            )
+        )
+    return suppressions
+
+
+def suppression_diagnostics(
+    path: str,
+    suppressions: Iterable[Suppression],
+    known_codes: Sequence[str],
+) -> List[Diagnostic]:
+    """The meta-diagnostics for a file's directives, after checking ran.
+
+    RL101 for a missing reason, RL102 per unknown code, RL103 per known
+    code that silenced nothing (skipped when the directive is already
+    RL101-flagged -- an inert directive is trivially "unused").
+    """
+    known = set(known_codes)
+    diagnostics: List[Diagnostic] = []
+    for suppression in suppressions:
+        for code in suppression.codes:
+            if code not in known:
+                diagnostics.append(
+                    Diagnostic(
+                        path=path,
+                        line=suppression.line,
+                        col=suppression.col,
+                        code=CODE_UNKNOWN_CODE,
+                        message=(
+                            f"suppression names unknown code {code!r}; "
+                            f"known codes: {', '.join(sorted(known))}"
+                        ),
+                    )
+                )
+        if not suppression.has_reason:
+            diagnostics.append(
+                Diagnostic(
+                    path=path,
+                    line=suppression.line,
+                    col=suppression.col,
+                    code=CODE_BAD_SUPPRESSION,
+                    message=(
+                        "suppression is missing its reason; write "
+                        "'# repro-lint: disable=CODE -- why this is exempt' "
+                        "(a reasonless directive suppresses nothing)"
+                    ),
+                )
+            )
+            continue
+        for code in suppression.codes:
+            if code in known and code not in suppression.used:
+                diagnostics.append(
+                    Diagnostic(
+                        path=path,
+                        line=suppression.line,
+                        col=suppression.col,
+                        code=CODE_UNUSED_SUPPRESSION,
+                        message=(
+                            f"unused suppression: no {code} diagnostic is "
+                            "raised on this line; delete the stale directive"
+                        ),
+                    )
+                )
+    return diagnostics

@@ -51,7 +51,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.api.config import EngineConfig
 from repro.api.registry import create
@@ -61,6 +61,9 @@ from repro.core.similarity_base import QuerySimilarityMethod
 from repro.graph.click_graph import ClickGraph
 from repro.graph.components import reachable_queries
 from repro.graph.delta import ClickGraphDelta
+
+if TYPE_CHECKING:
+    from repro.core.planner import PlanReport
 
 __all__ = ["CacheInfo", "Explanation", "RefreshInfo", "RewriteEngine"]
 
@@ -175,14 +178,18 @@ class RewriteEngine:
         self._graph = graph
         #: What the most recent refresh(delta) call did (None before any).
         self.last_refresh: Optional[RefreshInfo] = None
+        #: guarded-by: _cache_lock
         self._cache: "OrderedDict[Node, RewriteList]" = OrderedDict()
         #: Guards the serving cache and its counters so concurrent
         #: ``rewrite`` calls from executor threads stay consistent; the
         #: control-plane operations (fit/refresh/precompute) are NOT made
         #: concurrency-safe by this lock -- see the module docstring.
         self._cache_lock = threading.Lock()
+        #: guarded-by: _cache_lock
         self._hits = 0
+        #: guarded-by: _cache_lock
         self._misses = 0
+        #: guarded-by: _cache_lock
         self._evictions = 0
         #: Snapshot-carried state (set by repro.api.snapshot.read_snapshot,
         #: superseded by a fresh fit): the fitted graph's query set -- so
@@ -247,7 +254,7 @@ class RewriteEngine:
         return self.method.is_fitted
 
     @property
-    def plan_report(self):
+    def plan_report(self) -> Optional[PlanReport]:
         """The ``backend="auto"`` planner's decision for the held fit.
 
         A :class:`~repro.core.planner.PlanReport` when the engine's method
@@ -411,9 +418,10 @@ class RewriteEngine:
         self._rewriter.clear_cache()
         self._mark_fresh_fit()
         invalidated = 0
-        for query in [query for query in self._cache if query in affected]:
-            del self._cache[query]
-            invalidated += 1
+        with self._cache_lock:
+            for query in [query for query in self._cache if query in affected]:
+                del self._cache[query]
+                invalidated += 1
         self.last_refresh = RefreshInfo(
             changes=len(delta),
             affected_queries=len(affected),
@@ -606,7 +614,12 @@ class RewriteEngine:
             return self._warm_bounded(queries, capacity)
         warmed = 0
         for query in queries:
-            if query not in self._cache:
+            # Membership check under the lock, rewrite() outside it: the
+            # lock is not reentrant and rewrite() takes it to fill the
+            # cache, so holding it across the call would self-deadlock.
+            with self._cache_lock:
+                cached = query in self._cache
+            if not cached:
                 self.rewrite(query)
                 warmed += 1
         return warmed
@@ -620,9 +633,10 @@ class RewriteEngine:
         recency order, so the real cache finishes in exactly the state the
         naive query-by-query replay would produce.
         """
-        simulated: "OrderedDict[Node, None]" = OrderedDict(
-            (query, None) for query in self._cache
-        )
+        with self._cache_lock:
+            simulated: "OrderedDict[Node, None]" = OrderedDict(
+                (query, None) for query in self._cache
+            )
         for query in queries:
             if query in simulated:
                 simulated.move_to_end(query)
@@ -633,14 +647,21 @@ class RewriteEngine:
         # Drop the entries the replay evicts *before* warming: otherwise an
         # insertion mid-loop could push out a not-yet-refreshed survivor and
         # force the recompute this path exists to avoid.
-        for query in [query for query in self._cache if query not in simulated]:
-            del self._cache[query]
-            self._evictions += 1
+        with self._cache_lock:
+            for query in [
+                query for query in self._cache if query not in simulated
+            ]:
+                del self._cache[query]
+                self._evictions += 1
         warmed = 0
         for query in simulated:
-            if query in self._cache:
-                self._cache.move_to_end(query)
-            else:
+            # Same split as precompute(): check-and-touch under the lock,
+            # rewrite() (which takes the lock itself) outside it.
+            with self._cache_lock:
+                cached = query in self._cache
+                if cached:
+                    self._cache.move_to_end(query)
+            if not cached:
                 self.rewrite(query)
                 warmed += 1
         return warmed
@@ -770,7 +791,9 @@ class RewriteEngine:
 
     def __repr__(self) -> str:
         state = "fitted" if self.is_fitted else "unfitted"
+        with self._cache_lock:
+            cached = len(self._cache)
         return (
             f"RewriteEngine(method={self.config.method!r}, {state}, "
-            f"cached={len(self._cache)})"
+            f"cached={cached})"
         )

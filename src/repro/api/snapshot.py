@@ -306,7 +306,9 @@ def read_manifest(path: PathLike) -> dict:
     try:
         manifest = json.loads(manifest_path.read_text())
     except (OSError, UnicodeDecodeError, json.JSONDecodeError) as error:
-        raise SnapshotError(f"corrupt snapshot manifest at {manifest_path}: {error}")
+        raise SnapshotError(
+            f"corrupt snapshot manifest at {manifest_path}: {error}"
+        ) from error
     if not isinstance(manifest, dict):
         raise SnapshotError(
             f"corrupt snapshot manifest at {manifest_path}: expected a JSON "
@@ -349,24 +351,24 @@ def read_snapshot(path: PathLike, engine_cls=None):
     except KeyError as error:
         raise SnapshotError(
             f"snapshot manifest at {manifest_path} is missing key {error}"
-        )
+        ) from error
     except (TypeError, ValueError) as error:
         raise SnapshotError(
             f"snapshot manifest at {manifest_path} holds an invalid engine "
             f"config: {error}"
-        )
+        ) from error
     try:
         matrix = sparse.load_npz(scores_path).tocsr()
     except Exception as error:
         raise SnapshotError(
             f"corrupt snapshot score matrix at {scores_path}: {error}"
-        )
+        ) from error
     try:
         array = ArraySimilarityScores(matrix, index)
     except (TypeError, ValueError) as error:
         raise SnapshotError(
             f"snapshot at {path} is internally inconsistent: {error}"
-        )
+        ) from error
     fit_metadata = manifest.get("fit", {})
     scores = (
         SimilarityScores.from_array(array)

@@ -72,6 +72,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = [
+    "FAULT_POINTS",
     "FaultError",
     "FaultSpec",
     "FaultAction",
@@ -86,6 +87,26 @@ __all__ = [
     "claim",
     "should_corrupt",
 ]
+
+#: The authoritative registry of instrumented fault points (the module
+#: docstring's table, in executable form).  The static analyzer's RL004
+#: checker keeps it honest in both directions: every ``faults.fire`` /
+#: ``faults.claim`` / ``faults.should_corrupt`` site in the ``repro``
+#: package must use a name listed here, and every name listed here must
+#: have at least one site.  Keep this a literal ``frozenset({...})`` of
+#: strings -- the checker reads it from the AST, not by importing.
+FAULT_POINTS = frozenset(
+    {
+        "snapshot.write",
+        "snapshot.read",
+        "delta.apply",
+        "engine.refresh",
+        "shard.fit",
+        "shard.fit.worker",
+        "serving.request",
+        "serving.compute",
+    }
+)
 
 
 class FaultError(RuntimeError):
@@ -272,7 +293,7 @@ class FaultPlan:
         activate(self._previous)
 
     def __repr__(self) -> str:
-        return f"FaultPlan(specs={len(self._specs)}, fired={len(self.fired)})"
+        return f"FaultPlan(specs={len(self._specs)}, fired={self.fire_count()})"
 
 
 # ---------------------------------------------------------------- activation

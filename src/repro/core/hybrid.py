@@ -52,7 +52,11 @@ class TextSimilarity(QuerySimilarityMethod):
         scores = SimilarityScores()
         by_stem = {}
         for query in graph.queries():
-            for token in set(tokenize(str(query))):
+            # dict.fromkeys dedups while keeping token order -- iterating a
+            # set here would visit stems in hash order and make the
+            # insertion order of by_stem (and anything downstream that
+            # enumerates it) vary with PYTHONHASHSEED.
+            for token in dict.fromkeys(tokenize(str(query))):
                 by_stem.setdefault(stem(token), set()).add(query)
         seen = set()
         for queries in by_stem.values():
@@ -103,8 +107,11 @@ class HybridSimilarity(QuerySimilarityMethod):
         text_scores = self._text.similarities()
 
         combined = SimilarityScores()
-        pairs = {(a, b) for a, b, _ in graph_scores.pairs()}
-        pairs.update((a, b) for a, b, _ in text_scores.pairs())
+        # Order-preserving union: graph pairs first, then text-only pairs.
+        # A set union here would enumerate pairs in hash order, making the
+        # insertion order of `combined` depend on PYTHONHASHSEED.
+        pairs = dict.fromkeys((a, b) for a, b, _ in graph_scores.pairs())
+        pairs.update(dict.fromkeys((a, b) for a, b, _ in text_scores.pairs()))
         for first, second in pairs:
             value = self.alpha * graph_scores.score(first, second) + (1 - self.alpha) * (
                 text_scores.score(first, second)

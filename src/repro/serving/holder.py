@@ -67,19 +67,27 @@ class EngineHolder:
         #: new engine with a stale version or vice versa.
         self._current: Tuple[RewriteEngine, int] = (engine, version)
         self._mutate = threading.Lock()
-        self._swaps = 0
-        self._last_swap_seconds: Optional[float] = None
         #: Swap listeners (version, engine) -> None, called after publish.
         self._listeners: List[Callable[[int, RewriteEngine], None]] = []
         #: Publish-outcome ledger.  Guarded by its own lock, not ``_mutate``:
         #: a *failed* reload records its outcome without ever taking the swap
         #: lock, and readers (/stats, the circuit breaker) must not block
-        #: behind an in-flight refit.
+        #: behind an in-flight refit.  The swap counters live here too, for
+        #: the same reason: /stats reads them.
         self._outcome = threading.Lock()
+        #: guarded-by: _outcome
+        self._swaps = 0
+        #: guarded-by: _outcome
+        self._last_swap_seconds: Optional[float] = None
+        #: guarded-by: _outcome
         self._publish_failures = 0
+        #: guarded-by: _outcome
         self._consecutive_failures = 0
+        #: guarded-by: _outcome
         self._last_error: Optional[str] = None
+        #: guarded-by: _outcome
         self._last_failure_at: Optional[float] = None
+        #: guarded-by: _outcome
         self._published_at: float = time.time()
 
     # ---------------------------------------------------------------- reading
@@ -135,7 +143,8 @@ class EngineHolder:
             except Exception as exc:
                 self._record_failure(exc)
                 raise
-            self._last_swap_seconds = time.perf_counter() - started
+            with self._outcome:
+                self._last_swap_seconds = time.perf_counter() - started
             return version
 
     def reload(self, path: PathLike, precompute: bool = False) -> int:
@@ -157,15 +166,16 @@ class EngineHolder:
             raise
         with self._mutate:
             version = self._publish(candidate)
-            self._last_swap_seconds = time.perf_counter() - started
+            with self._outcome:
+                self._last_swap_seconds = time.perf_counter() - started
             return version
 
     def _publish(self, engine: RewriteEngine) -> int:
         """Single point of publication (caller holds the mutate lock)."""
         version = self._current[1] + 1
         self._current = (engine, version)
-        self._swaps += 1
         with self._outcome:
+            self._swaps += 1
             self._consecutive_failures = 0
             self._published_at = time.time()
         for listener in self._listeners:
@@ -199,12 +209,14 @@ class EngineHolder:
     @property
     def swaps(self) -> int:
         """How many engines have been published after the initial one."""
-        return self._swaps
+        with self._outcome:
+            return self._swaps
 
     @property
     def last_swap_seconds(self) -> Optional[float]:
         """Wall-clock duration of the most recent refresh/reload, if any."""
-        return self._last_swap_seconds
+        with self._outcome:
+            return self._last_swap_seconds
 
     @property
     def publish_failures(self) -> int:
@@ -249,4 +261,4 @@ class EngineHolder:
 
     def __repr__(self) -> str:
         engine, version = self._current
-        return f"EngineHolder(version={version}, swaps={self._swaps}, engine={engine!r})"
+        return f"EngineHolder(version={version}, swaps={self.swaps}, engine={engine!r})"

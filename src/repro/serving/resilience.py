@@ -191,6 +191,7 @@ class CircuitBreaker:
                 self._opened_at = self._clock()
                 self._probing = False
 
+    # repro-lint: requires-lock=_lock
     def _maybe_half_open(self) -> None:
         """Open -> half-open once the reset window has elapsed (lock held)."""
         if (

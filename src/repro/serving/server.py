@@ -54,7 +54,7 @@ import dataclasses
 import json
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.api.engine import RewriteEngine
 from repro.api.snapshot import SnapshotError
@@ -699,7 +699,9 @@ class RewriteServer:
             ],
         }
 
-    async def _publish_with_resilience(self, kind: str, attempt) -> int:
+    async def _publish_with_resilience(
+        self, kind: str, attempt: Callable[[], int]
+    ) -> int:
         """Run a publish attempt in the admin executor, behind retry + breaker.
 
         ``attempt`` is a zero-argument callable (``holder.refresh``/

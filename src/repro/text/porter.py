@@ -28,8 +28,7 @@ class PorterStemmer:
         word = self._step3(word)
         word = self._step4(word)
         word = self._step5a(word)
-        word = self._step5b(word)
-        return word
+        return self._step5b(word)
 
     # ------------------------------------------------------------ primitives
 

@@ -1,0 +1,46 @@
+"""Shared helpers for the static-analysis suite tests.
+
+The checker tests are fixture-driven: known-bad snippets under
+``fixtures/`` mark each expected finding with a ``# BAD`` comment, so the
+tests assert the exact diagnosed lines without hand-maintained line
+numbers, and known-clean twins assert silence.  The fixture tree mirrors
+the package layout (``fixtures/repro/core/...``) so path-scoped checkers
+fire on it; the analyzer's default excludes keep the same tree out of the
+real CI run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, List
+
+import pytest
+
+_FIXTURES = Path(__file__).parent / "fixtures"
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def fixtures_dir() -> Path:
+    return _FIXTURES
+
+
+@pytest.fixture
+def repo_root() -> Path:
+    return _REPO_ROOT
+
+
+@pytest.fixture
+def bad_lines() -> Callable[[Path], List[int]]:
+    """1-indexed lines a fixture marks with ``# BAD`` -- the expected hits."""
+
+    def collect(path: Path) -> List[int]:
+        return [
+            number
+            for number, line in enumerate(
+                path.read_text().splitlines(), start=1
+            )
+            if "# BAD" in line
+        ]
+
+    return collect

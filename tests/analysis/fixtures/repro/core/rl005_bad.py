@@ -1,0 +1,17 @@
+"""Known-bad RL005 fixture: nondeterminism inside a repro/core-shaped path."""
+
+import random
+import time
+
+import numpy as np
+
+
+def scores(tokens):
+    total = 0.0
+    for token in set(tokens):  # BAD: hash-order iteration
+        total += random.random()  # BAD: unseeded global RNG
+    rng = np.random.default_rng()  # BAD: unseeded generator factory
+    stamp = time.time()  # BAD: wall clock feeding core computation
+    pairs = {(token, token) for token in tokens}
+    ordered = list(pairs)  # BAD: list() of a set-bound name
+    return total, rng, stamp, ordered

@@ -1,0 +1,20 @@
+"""Known-clean RL005 fixture: the sanctioned deterministic spellings."""
+
+import random
+import time
+
+import numpy as np
+
+
+def scores(tokens):
+    total = 0.0
+    for token in sorted(set(tokens)):  # sorted() fixes the order
+        total += len(token)
+    deduped = list(dict.fromkeys(tokens))  # order-preserving dedup
+    rng = random.Random(42)  # seeded
+    generator = np.random.default_rng(7)  # seeded
+    started = time.monotonic()  # measurement, not score input
+    unique = {token for token in tokens}
+    if "anchor" in unique:  # membership tests are order-free
+        total += 1
+    return total, deduped, rng, generator, started

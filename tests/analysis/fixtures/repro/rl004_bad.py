@@ -1,0 +1,13 @@
+"""Known-bad RL004 fixture: a site using a name the registry never declared.
+
+Analyzed together with ``rl004_registry.py``: ``mystery.point`` is an
+unknown-name finding here, and ``beta.point`` (registered, no site) is a
+dead-entry finding at the registry.
+"""
+
+from repro.core import faults
+
+
+def work():
+    faults.fire("alpha.point")  # ok: registered
+    faults.fire("mystery.point")  # BAD: not in FAULT_POINTS

@@ -1,0 +1,12 @@
+"""Known-clean RL004 fixture: every registered point has a matching site."""
+
+from repro.core import faults
+
+
+def work():
+    faults.fire("alpha.point")
+    action = faults.claim("beta.point")
+    if action is not None:
+        action.execute()
+    dynamic = "alpha" + ".point"
+    faults.fire(dynamic)  # non-literal names are out of static reach: skipped

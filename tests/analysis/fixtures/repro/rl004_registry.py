@@ -1,0 +1,8 @@
+"""Mini fault-point registry for RL004 fixtures (mirrors the real shape)."""
+
+FAULT_POINTS = frozenset(
+    {
+        "alpha.point",
+        "beta.point",
+    }
+)

@@ -1,0 +1,34 @@
+"""Known-bad RL001 fixture: guarded fields touched outside their lock.
+
+The ``EngineHolder`` class below reproduces the pre-existing bug the
+checker's seed map was built to catch: a ``/stats``-style property reading
+the ``_outcome``-guarded swap counter lock-free.
+"""
+
+import threading
+
+
+class EngineHolder:
+    """Class name matches the seed map: ``_swaps`` is guarded by ``_outcome``."""
+
+    def __init__(self):
+        self._outcome = threading.Lock()
+        self._swaps = 0
+
+    @property
+    def swaps(self):
+        return self._swaps  # BAD: seed-map field read without the lock
+
+
+class Annotated:
+    def __init__(self):
+        self._lock = threading.Lock()
+        #: guarded-by: _lock
+        self._count = 0
+
+    def bump(self):
+        self._count += 1  # BAD: annotated field written without the lock
+
+    def read(self):
+        with self._lock:
+            return self._count  # ok: inside the declared lock

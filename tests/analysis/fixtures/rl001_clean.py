@@ -1,0 +1,39 @@
+"""Known-clean RL001 fixture: every guarded access holds the right lock."""
+
+import threading
+
+
+class EngineHolder:
+    """Seed-map class, but disciplined: ``_swaps`` only under ``_outcome``."""
+
+    def __init__(self):
+        self._outcome = threading.Lock()
+        self._swaps = 0
+
+    @property
+    def swaps(self):
+        with self._outcome:
+            return self._swaps
+
+    def bump(self):
+        with self._outcome:
+            self._swaps += 1
+
+
+class Annotated:
+    def __init__(self):
+        self._lock = threading.Lock()
+        #: guarded-by: _lock
+        self._count = 0
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+            self._apply()
+
+    # repro-lint: requires-lock=_lock
+    def _apply(self):
+        self._count += 1  # ok: the annotation claims the caller holds _lock
+
+    def unrelated(self):
+        return id(self)  # no guarded fields touched at all

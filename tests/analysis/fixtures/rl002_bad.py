@@ -1,0 +1,15 @@
+"""Known-bad RL002 fixture: blocking calls inside async bodies."""
+
+import threading
+import time
+from time import sleep
+
+LOCK = threading.Lock()
+
+
+async def handler():
+    time.sleep(0.1)  # BAD: blocks the event loop
+    sleep(0.1)  # BAD: same call through a from-import
+    LOCK.acquire()  # BAD: bare acquire, not awaited
+    with open("data.txt") as fh:  # BAD: blocking file IO
+        return fh.read()

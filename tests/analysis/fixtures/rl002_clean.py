@@ -1,0 +1,23 @@
+"""Known-clean RL002 fixture: async bodies that never block the loop."""
+
+import asyncio
+import time
+
+
+async def handler():
+    await asyncio.sleep(0.1)  # awaited asyncio sleep is fine
+    lock = asyncio.Lock()
+    await lock.acquire()  # awaited acquire is an asyncio primitive
+    lock.release()
+
+    def compute():
+        time.sleep(0.1)  # nested sync def: the executor-target idiom
+        return 1
+
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, compute)
+
+
+def plain():
+    time.sleep(0.1)  # sync function: out of RL002's scope
+    return open  # referencing, not calling

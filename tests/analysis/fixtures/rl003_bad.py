@@ -1,0 +1,31 @@
+"""Known-bad RL003 fixture: unpicklable values handed to a process pool."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+class Plan:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def run(self):
+        pool = ProcessPoolExecutor()
+        pool.submit(self.execute, 1)  # BAD: bound method drags the lock along
+        pool.submit(lambda x: x, 2)  # BAD: lambda
+        pool.submit(probe, self)  # BAD: self as argument
+        pool.shutdown()
+
+    def execute(self, n):
+        return n
+
+
+def probe(plan):
+    return plan
+
+
+def fit():
+    def job(x):  # nested: qualified name unresolvable from a worker
+        return x
+
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(job, [1, 2]))  # BAD: nested function

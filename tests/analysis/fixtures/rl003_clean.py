@@ -1,0 +1,21 @@
+"""Known-clean RL003 fixture: module-level callables and plain data only."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def square(x):
+    return x * x
+
+
+def fit(batches):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(square, batch) for batch in batches]
+        return [future.result() for future in futures]
+
+
+def fit_map(batches):
+    pool = ProcessPoolExecutor()
+    try:
+        return list(pool.map(square, batches))
+    finally:
+        pool.shutdown()

@@ -1,0 +1,250 @@
+"""Fixture-driven tests for RL001-RL005: known-bad fires, known-clean is silent.
+
+Every ``*_bad.py`` fixture marks each expected finding with ``# BAD``; the
+tests assert the diagnosed lines match those marks exactly -- no more, no
+fewer -- and that the clean twin produces nothing.
+"""
+
+import textwrap
+
+from repro.analysis.checkers import (
+    AsyncBlockingChecker,
+    DeterminismChecker,
+    FaultPointChecker,
+    LockDisciplineChecker,
+    PickleSafetyChecker,
+)
+from repro.analysis.framework import run
+
+
+def run_one(checker, paths, root):
+    return run(paths, checkers=[checker], excludes=(), root=root)
+
+
+class TestLockDiscipline:
+    def test_bad_fixture_fires_on_every_marked_line(self, fixtures_dir, bad_lines):
+        path = fixtures_dir / "rl001_bad.py"
+        report = run_one(LockDisciplineChecker(), [path], fixtures_dir)
+        assert [d.line for d in report.diagnostics] == bad_lines(path)
+        assert {d.code for d in report.diagnostics} == {"RL001"}
+
+    def test_seed_map_catches_the_holder_stats_bug_shape(self, fixtures_dir):
+        """The seed-map entry reproduces the pre-existing /stats finding."""
+        path = fixtures_dir / "rl001_bad.py"
+        report = run_one(LockDisciplineChecker(), [path], fixtures_dir)
+        swaps = [d for d in report.diagnostics if "_swaps" in d.message]
+        assert len(swaps) == 1
+        assert "EngineHolder._swaps is declared guarded by self._outcome" in (
+            swaps[0].message
+        )
+
+    def test_annotated_field_is_enforced_like_the_seed_map(self, fixtures_dir):
+        path = fixtures_dir / "rl001_bad.py"
+        report = run_one(LockDisciplineChecker(), [path], fixtures_dir)
+        annotated = [d for d in report.diagnostics if "_count" in d.message]
+        assert len(annotated) == 1
+        assert "Annotated._count is declared guarded by self._lock" in (
+            annotated[0].message
+        )
+
+    def test_clean_fixture_is_silent(self, fixtures_dir):
+        report = run_one(
+            LockDisciplineChecker(), [fixtures_dir / "rl001_clean.py"], fixtures_dir
+        )
+        assert report.ok, report.render_lines()
+
+    def test_requires_lock_annotation_covers_the_body(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            textwrap.dedent(
+                """
+                import threading
+
+
+                class Annotated:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        #: guarded-by: _lock
+                        self._count = 0
+
+                    # repro-lint: requires-lock=_lock
+                    def _helper(self):
+                        self._count += 1
+                """
+            ).lstrip()
+        )
+        report = run_one(LockDisciplineChecker(), [mod], tmp_path)
+        assert report.ok, report.render_lines()
+
+    def test_constructor_is_exempt(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            textwrap.dedent(
+                """
+                import threading
+
+
+                class Annotated:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        #: guarded-by: _lock
+                        self._count = 0
+                        self._count += 1
+                """
+            ).lstrip()
+        )
+        report = run_one(LockDisciplineChecker(), [mod], tmp_path)
+        assert report.ok, report.render_lines()
+
+
+class TestAsyncBlocking:
+    def test_bad_fixture_fires_on_every_marked_line(self, fixtures_dir, bad_lines):
+        path = fixtures_dir / "rl002_bad.py"
+        report = run_one(AsyncBlockingChecker(), [path], fixtures_dir)
+        assert [d.line for d in report.diagnostics] == bad_lines(path)
+        assert {d.code for d in report.diagnostics} == {"RL002"}
+
+    def test_from_import_is_resolved(self, fixtures_dir):
+        path = fixtures_dir / "rl002_bad.py"
+        report = run_one(AsyncBlockingChecker(), [path], fixtures_dir)
+        assert (
+            sum("time.sleep()" in d.message for d in report.diagnostics) == 2
+        ), "both `time.sleep(...)` and the from-imported `sleep(...)` must fire"
+
+    def test_bare_acquire_is_named_explicitly(self, fixtures_dir):
+        path = fixtures_dir / "rl002_bad.py"
+        report = run_one(AsyncBlockingChecker(), [path], fixtures_dir)
+        assert any("bare .acquire()" in d.message for d in report.diagnostics)
+
+    def test_clean_fixture_is_silent(self, fixtures_dir):
+        report = run_one(
+            AsyncBlockingChecker(), [fixtures_dir / "rl002_clean.py"], fixtures_dir
+        )
+        assert report.ok, report.render_lines()
+
+
+class TestPickleSafety:
+    def test_bad_fixture_fires_on_every_marked_line(self, fixtures_dir, bad_lines):
+        path = fixtures_dir / "rl003_bad.py"
+        report = run_one(PickleSafetyChecker(), [path], fixtures_dir)
+        assert [d.line for d in report.diagnostics] == bad_lines(path)
+        assert {d.code for d in report.diagnostics} == {"RL003"}
+
+    def test_bound_method_finding_names_the_lock_holder(self, fixtures_dir):
+        path = fixtures_dir / "rl003_bad.py"
+        report = run_one(PickleSafetyChecker(), [path], fixtures_dir)
+        assert any(
+            "bound method self.execute" in d.message
+            and "threading.Lock" in d.message
+            for d in report.diagnostics
+        )
+
+    def test_clean_fixture_is_silent(self, fixtures_dir):
+        report = run_one(
+            PickleSafetyChecker(), [fixtures_dir / "rl003_clean.py"], fixtures_dir
+        )
+        assert report.ok, report.render_lines()
+
+    def test_thread_pools_are_out_of_scope(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            textwrap.dedent(
+                """
+                from concurrent.futures import ThreadPoolExecutor
+
+                with ThreadPoolExecutor() as pool:
+                    pool.submit(lambda: 1)
+                """
+            ).lstrip()
+        )
+        report = run_one(PickleSafetyChecker(), [mod], tmp_path)
+        assert report.ok, report.render_lines()
+
+
+class TestFaultPoints:
+    def test_unknown_name_and_dead_entry_are_both_reported(
+        self, fixtures_dir, bad_lines
+    ):
+        registry = fixtures_dir / "repro" / "rl004_registry.py"
+        sites = fixtures_dir / "repro" / "rl004_bad.py"
+        report = run_one(FaultPointChecker(), [registry, sites], fixtures_dir)
+        assert len(report.diagnostics) == 2
+        unknown = [d for d in report.diagnostics if "mystery.point" in d.message]
+        assert len(unknown) == 1
+        assert unknown[0].line == bad_lines(sites)[0]
+        assert unknown[0].path.endswith("rl004_bad.py")
+        dead = [
+            d
+            for d in report.diagnostics
+            if "no fire/claim/should_corrupt site" in d.message
+        ]
+        assert len(dead) == 1
+        assert dead[0].path.endswith("rl004_registry.py")
+        assert "'beta.point' is registered but" in dead[0].message
+
+    def test_clean_fixture_is_silent(self, fixtures_dir):
+        registry = fixtures_dir / "repro" / "rl004_registry.py"
+        sites = fixtures_dir / "repro" / "rl004_clean.py"
+        report = run_one(FaultPointChecker(), [registry, sites], fixtures_dir)
+        assert report.ok, report.render_lines()
+
+    def test_registry_import_fallback_validates_against_the_real_one(
+        self, tmp_path
+    ):
+        site = tmp_path / "repro" / "mod.py"
+        site.parent.mkdir()
+        site.write_text(
+            "from repro.core import faults\n\n\n"
+            "def work():\n"
+            '    faults.fire("snapshot.write")\n'
+            '    faults.fire("definitely.not.registered")\n'
+        )
+        report = run_one(FaultPointChecker(), [site], tmp_path)
+        assert len(report.diagnostics) == 1
+        assert "definitely.not.registered" in report.diagnostics[0].message
+
+    def test_sites_outside_the_repro_package_are_ignored(self, tmp_path):
+        test_file = tmp_path / "test_faults.py"
+        test_file.write_text(
+            "from repro.core import faults\n\n"
+            'faults.fire("scratch.name.for.a.test")\n'
+        )
+        report = run_one(FaultPointChecker(), [test_file], tmp_path)
+        assert report.ok, report.render_lines()
+
+
+class TestDeterminism:
+    def test_bad_fixture_fires_on_every_marked_line(self, fixtures_dir, bad_lines):
+        path = fixtures_dir / "repro" / "core" / "rl005_bad.py"
+        report = run_one(DeterminismChecker(), [path], fixtures_dir)
+        assert [d.line for d in report.diagnostics] == bad_lines(path)
+        assert {d.code for d in report.diagnostics} == {"RL005"}
+
+    def test_each_rule_contributes(self, fixtures_dir):
+        path = fixtures_dir / "repro" / "core" / "rl005_bad.py"
+        report = run_one(DeterminismChecker(), [path], fixtures_dir)
+        messages = " | ".join(d.message for d in report.diagnostics)
+        assert "unseeded global RNG" in messages
+        assert "without a seed" in messages
+        assert "wall-clock" in messages
+        assert "hash order" in messages
+
+    def test_clean_fixture_is_silent(self, fixtures_dir):
+        path = fixtures_dir / "repro" / "core" / "rl005_clean.py"
+        report = run_one(DeterminismChecker(), [path], fixtures_dir)
+        assert report.ok, report.render_lines()
+
+    def test_scope_is_repro_core_only(self, tmp_path, fixtures_dir):
+        """The same nondeterministic code outside repro/core is not flagged."""
+        source = (fixtures_dir / "repro" / "core" / "rl005_bad.py").read_text()
+        elsewhere = tmp_path / "elsewhere.py"
+        elsewhere.write_text(source)
+        report = run_one(DeterminismChecker(), [elsewhere], tmp_path)
+        assert report.ok, report.render_lines()
+
+    def test_allowlist_exempts_fault_injection(self, tmp_path):
+        mod = tmp_path / "repro" / "core" / "faults.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text("import time\n\nstamp = time.time()\n")
+        report = run_one(DeterminismChecker(), [mod], tmp_path)
+        assert report.ok, report.render_lines()

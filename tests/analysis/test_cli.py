@@ -1,0 +1,76 @@
+"""The repro-lint command line: exit codes, formats, reports, excludes."""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main
+
+
+@pytest.fixture
+def clean_tree(tmp_path):
+    (tmp_path / "mod.py").write_text("x = 1\n")
+    return tmp_path
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    mod = tmp_path / "repro" / "core" / "mod.py"
+    mod.parent.mkdir(parents=True)
+    mod.write_text("import time\n\nSTAMP = time.time()\n")
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, clean_tree, capsys):
+        assert main([str(clean_tree)]) == 0
+        assert "0 diagnostics" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, dirty_tree, capsys):
+        assert main([str(dirty_tree)]) == 1
+        out = capsys.readouterr().out
+        assert "RL005" in out
+        assert "1 diagnostic" in out
+
+    def test_missing_path_is_a_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main([str(tmp_path / "no-such-dir")])
+        assert excinfo.value.code == 2
+
+
+class TestFixtureExclusion:
+    def test_known_bad_fixtures_are_excluded_by_default(
+        self, fixtures_dir, capsys
+    ):
+        assert main([str(fixtures_dir)]) == 0
+        assert "0 diagnostics" in capsys.readouterr().out
+
+    def test_no_default_excludes_reaches_them(self, fixtures_dir, capsys):
+        assert main([str(fixtures_dir), "--no-default-excludes"]) == 1
+        out = capsys.readouterr().out
+        for code in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+            assert code in out, f"{code} missing from the fixture sweep"
+
+
+class TestOutput:
+    def test_json_format(self, dirty_tree, capsys):
+        assert main([str(dirty_tree), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        assert payload["by_code"] == {"RL005": 1}
+
+    def test_json_report_file_is_written_regardless_of_format(
+        self, dirty_tree, tmp_path, capsys
+    ):
+        report_file = tmp_path / "analysis-report.json"
+        assert main([str(dirty_tree), "--json-report", str(report_file)]) == 1
+        payload = json.loads(report_file.read_text())
+        assert payload["by_code"] == {"RL005": 1}
+        assert payload["diagnostics"][0]["code"] == "RL005"
+        capsys.readouterr()
+
+    def test_list_checkers(self, capsys):
+        assert main(["--list-checkers"]) == 0
+        out = capsys.readouterr().out
+        for expected in ("RL001", "lock-discipline", "RL005", "determinism"):
+            assert expected in out

@@ -1,0 +1,151 @@
+"""The analysis framework: loading, discovery, meta-diagnostics, reporting."""
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.framework import (
+    CODE_CHECKER_ERROR,
+    CODE_PARSE_ERROR,
+    Checker,
+    discover,
+    dotted_name,
+    import_aliases,
+    load_file,
+    run,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestDiagnostic:
+    def test_render_is_compiler_shaped(self):
+        diag = Diagnostic(path="src/x.py", line=3, col=7, code="RL001", message="boom")
+        assert diag.render() == "src/x.py:3:7 RL001 boom"
+
+    def test_sort_order_is_positional(self):
+        diags = [
+            Diagnostic("b.py", 1, 1, "RL001", "m"),
+            Diagnostic("a.py", 9, 1, "RL005", "m"),
+            Diagnostic("a.py", 2, 5, "RL001", "m"),
+            Diagnostic("a.py", 2, 1, "RL001", "m"),
+        ]
+        ordered = sorted(diags)
+        assert [(d.path, d.line, d.col) for d in ordered] == [
+            ("a.py", 2, 1),
+            ("a.py", 2, 5),
+            ("a.py", 9, 1),
+            ("b.py", 1, 1),
+        ]
+
+
+class TestLoadFile:
+    def test_parse_error_becomes_rl100(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        file = load_file(bad, root=tmp_path)
+        assert file.tree is None
+        assert file.parse_error is not None
+        assert file.parse_error.code == CODE_PARSE_ERROR
+        report = run([bad], root=tmp_path)
+        assert [d.code for d in report.diagnostics] == [CODE_PARSE_ERROR]
+
+    def test_comments_are_tokenized_not_string_scanned(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text('text = "# repro-lint: disable=RL001"\n# a real comment\n')
+        file = load_file(mod, root=tmp_path)
+        assert file.suppressions == []  # the directive inside the string is data
+        assert file.comment_on(2) == "# a real comment"
+        assert file.comment_on(1) == ""
+
+    def test_in_package_dir_matches_consecutive_segments(self):
+        file = load_file(FIXTURES / "repro" / "core" / "rl005_bad.py")
+        assert file.in_package_dir("repro", "core")
+        assert file.in_package_dir("repro")
+        assert not file.in_package_dir("core", "repro")
+        assert not file.in_package_dir("repro", "serving")
+
+
+class TestDiscovery:
+    def test_fixture_tree_is_excluded_by_default(self, repo_root):
+        found = discover([repo_root / "tests"])
+        assert not [p for p in found if "fixtures" in p.as_posix()]
+
+    def test_explicit_excludes_can_be_dropped(self):
+        found = discover([FIXTURES], excludes=())
+        names = {p.name for p in found}
+        assert "rl001_bad.py" in names
+        assert "rl005_clean.py" in names
+
+    def test_duplicate_paths_collapse(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text("x = 1\n")
+        assert discover([mod, mod, tmp_path]) == [mod]
+
+
+class TestRun:
+    def test_checker_crash_is_rl199_not_an_exception(self, tmp_path):
+        class Exploding(Checker):
+            code = "RL001"
+            name = "exploding"
+
+            def check_file(self, file, project):
+                raise RuntimeError("kaboom")
+
+        mod = tmp_path / "m.py"
+        mod.write_text("x = 1\n")
+        report = run([mod], checkers=[Exploding()], root=tmp_path)
+        assert [d.code for d in report.diagnostics] == [CODE_CHECKER_ERROR]
+        assert "kaboom" in report.diagnostics[0].message
+
+    def test_json_payload_counts_by_code(self, tmp_path):
+        mod = tmp_path / "repro" / "core" / "m.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text(
+            textwrap.dedent(
+                """
+                import time
+
+
+                def f():
+                    return time.time()
+                """
+            ).lstrip()
+        )
+        report = run([mod], root=tmp_path)
+        payload = report.to_json()
+        assert payload["count"] == 1
+        assert payload["by_code"] == {"RL005": 1}
+        assert payload["files_checked"] == 1
+        assert payload["checkers"] == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+        (record,) = payload["diagnostics"]
+        assert record["code"] == "RL005"
+        assert record["line"] == 5
+
+    def test_human_rendering_has_count_trailer(self, tmp_path):
+        mod = tmp_path / "m.py"
+        mod.write_text("x = 1\n")
+        report = run([mod], root=tmp_path)
+        assert report.ok
+        assert report.render_lines() == ["0 diagnostics"]
+
+
+class TestHelpers:
+    def test_import_aliases_resolve_asname_and_from(self):
+        tree = ast.parse(
+            "import numpy as np\n"
+            "from time import sleep\n"
+            "from concurrent.futures import ProcessPoolExecutor as PPE\n"
+        )
+        aliases = import_aliases(tree)
+        assert aliases["np"] == "numpy"
+        assert aliases["sleep"] == "time.sleep"
+        assert aliases["PPE"] == "concurrent.futures.ProcessPoolExecutor"
+
+    def test_dotted_name_translates_the_head(self):
+        tree = ast.parse("import numpy as np\nx = np.random.rand()\n")
+        aliases = import_aliases(tree)
+        call = tree.body[1].value
+        assert dotted_name(call.func, aliases) == "numpy.random.rand"
+        assert dotted_name(ast.parse("f()").body[0].value) is None

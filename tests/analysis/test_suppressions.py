@@ -1,0 +1,108 @@
+"""The suppression lifecycle: reason required, unknown codes, stale directives."""
+
+import textwrap
+
+from repro.analysis.framework import run
+
+
+def core_module(tmp_path, body):
+    """A file under a repro/core-shaped path (so RL005 applies to it)."""
+    mod = tmp_path / "repro" / "core" / "mod.py"
+    mod.parent.mkdir(parents=True, exist_ok=True)
+    mod.write_text(textwrap.dedent(body).lstrip())
+    return mod
+
+
+class TestReasonedSuppression:
+    def test_silences_the_finding_on_its_line(self, tmp_path):
+        mod = core_module(
+            tmp_path,
+            """
+            import time
+
+            STAMP = time.time()  # repro-lint: disable=RL005 -- sanctioned: artifact timestamp, not a score input
+            """,
+        )
+        report = run([mod], root=tmp_path)
+        assert report.ok, report.render_lines()
+
+    def test_only_applies_to_its_own_line(self, tmp_path):
+        mod = core_module(
+            tmp_path,
+            """
+            import time
+
+            # repro-lint: disable=RL005 -- wrong place: not on the finding's line
+            STAMP = time.time()
+            """,
+        )
+        report = run([mod], root=tmp_path)
+        codes = sorted(d.code for d in report.diagnostics)
+        assert codes == ["RL005", "RL103"]  # finding kept, directive reported stale
+
+    def test_multi_code_directive_reports_the_unused_half(self, tmp_path):
+        mod = core_module(
+            tmp_path,
+            """
+            import time
+
+            STAMP = time.time()  # repro-lint: disable=RL005, RL001 -- RL005 is real here, RL001 is not
+            """,
+        )
+        report = run([mod], root=tmp_path)
+        assert [d.code for d in report.diagnostics] == ["RL103"]
+        assert "RL001" in report.diagnostics[0].message
+
+
+class TestReasonlessSuppression:
+    def test_is_inert_and_reported(self, tmp_path):
+        mod = core_module(
+            tmp_path,
+            """
+            import time
+
+            STAMP = time.time()  # repro-lint: disable=RL005
+            """,
+        )
+        report = run([mod], root=tmp_path)
+        codes = sorted(d.code for d in report.diagnostics)
+        assert codes == ["RL005", "RL101"]  # suppresses nothing, and is flagged
+        rl101 = next(d for d in report.diagnostics if d.code == "RL101")
+        assert "missing its reason" in rl101.message
+
+
+class TestUnknownCode:
+    def test_is_rejected(self, tmp_path):
+        mod = core_module(
+            tmp_path,
+            """
+            X = 1  # repro-lint: disable=RL999 -- no such checker
+            """,
+        )
+        report = run([mod], root=tmp_path)
+        assert [d.code for d in report.diagnostics] == ["RL102"]
+        assert "RL999" in report.diagnostics[0].message
+
+    def test_meta_codes_are_not_suppressible(self, tmp_path):
+        """Naming a meta code in disable= is itself an unknown-code finding."""
+        mod = core_module(
+            tmp_path,
+            """
+            X = 1  # repro-lint: disable=RL101 -- trying to silence the meta layer
+            """,
+        )
+        report = run([mod], root=tmp_path)
+        assert [d.code for d in report.diagnostics] == ["RL102"]
+
+
+class TestUnusedSuppression:
+    def test_is_reported_as_stale(self, tmp_path):
+        mod = core_module(
+            tmp_path,
+            """
+            X = 1  # repro-lint: disable=RL005 -- left behind after a fix
+            """,
+        )
+        report = run([mod], root=tmp_path)
+        assert [d.code for d in report.diagnostics] == ["RL103"]
+        assert "unused suppression" in report.diagnostics[0].message

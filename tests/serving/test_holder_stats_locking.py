@@ -1,0 +1,98 @@
+"""Regression tests for the RL001 findings fixed in the serving holder.
+
+The static analyzer's lock-discipline checker (RL001) found ``/stats``-path
+reads of the swap bookkeeping (``swaps``, ``last_swap_seconds``,
+``__repr__``) running without any lock while ``_publish``/``refresh`` wrote
+the same fields.  The fix moved the swap counters under the ``_outcome``
+ledger lock -- deliberately *not* ``_mutate``, so stats readers never block
+behind an in-flight refit.  These tests pin both halves of that contract.
+"""
+
+import threading
+
+from repro.api.config import EngineConfig
+from repro.api.engine import RewriteEngine
+from repro.core.config import SimrankConfig
+from repro.serving.holder import EngineHolder
+
+
+def build_engine(graph):
+    config = EngineConfig(
+        method="weighted_simrank",
+        similarity=SimrankConfig(iterations=10),
+        bid_filtering=False,
+    )
+    return RewriteEngine.from_graph(graph, config).fit()
+
+
+def read_stats_in_thread(holder, results):
+    results["swaps"] = holder.swaps
+    results["last_swap_seconds"] = holder.last_swap_seconds
+    results["repr"] = repr(holder)
+
+
+class TestStatsNeverBlockBehindTheSwapLock:
+    def test_stats_reads_complete_while_mutate_is_held(self, small_weighted_graph):
+        """A long refit holds ``_mutate``; /stats must still answer."""
+        holder = EngineHolder(build_engine(small_weighted_graph))
+        results = {}
+        with holder._mutate:  # simulate an in-flight refresh holding the swap lock
+            reader = threading.Thread(
+                target=read_stats_in_thread, args=(holder, results)
+            )
+            reader.start()
+            reader.join(timeout=5.0)
+            assert not reader.is_alive(), (
+                "stats reads blocked behind the swap lock -- they must use "
+                "the _outcome ledger lock instead"
+            )
+        assert results["swaps"] == 0
+        assert results["last_swap_seconds"] is None
+        assert "swaps=0" in results["repr"]
+
+
+class TestSwapCountersAreConsistentUnderConcurrency:
+    def test_concurrent_swaps_and_reads_never_lose_a_count(
+        self, small_weighted_graph
+    ):
+        engine = build_engine(small_weighted_graph)
+        holder = EngineHolder(engine)
+        swaps_per_thread = 25
+        threads = 4
+        observed = []
+
+        def swapper():
+            for _ in range(swaps_per_thread):
+                holder.swap(engine.copy())
+
+        def reader():
+            for _ in range(200):
+                observed.append(holder.swaps)
+
+        workers = [threading.Thread(target=swapper) for _ in range(threads)]
+        workers.append(threading.Thread(target=reader))
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+
+        assert holder.swaps == threads * swaps_per_thread
+        # Reads taken mid-swap are monotone snapshots, never torn values.
+        assert all(0 <= value <= threads * swaps_per_thread for value in observed)
+        assert observed == sorted(observed)
+
+    def test_refresh_records_duration_under_the_ledger_lock(
+        self, small_weighted_graph
+    ):
+        from repro.graph.delta import DeltaBuilder
+
+        holder = EngineHolder(build_engine(small_weighted_graph))
+        delta = (
+            DeltaBuilder(holder.engine.graph)
+            .set_edge("tablet", "bestbuy.com", impressions=150, clicks=15)
+            .build()
+        )
+        holder.refresh(delta)
+        assert holder.swaps == 1
+        assert holder.last_swap_seconds is not None
+        assert holder.last_swap_seconds >= 0.0

@@ -93,7 +93,7 @@ class TestGeneratedWorkload:
     def test_subtopic_assignments_cover_all_nodes(self, tiny_workload):
         assert set(tiny_workload.query_subtopics) == set(tiny_workload.query_topics)
         assert set(tiny_workload.ad_subtopics) == set(tiny_workload.ad_topics)
-        for topic, subtopic in tiny_workload.query_subtopics.values():
+        for _topic, subtopic in tiny_workload.query_subtopics.values():
             assert 0 <= subtopic < TINY_WORKLOAD.subtopics_per_topic
 
 
