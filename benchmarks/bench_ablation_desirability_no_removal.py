@@ -12,7 +12,7 @@ this small.
 import random
 
 from repro.core.config import SimrankConfig
-from repro.core.registry import create_method
+from repro.api.registry import create
 from repro.eval.desirability import run_desirability_experiment, select_desirability_cases
 from repro.eval.reporting import format_table
 
@@ -22,7 +22,7 @@ def test_ablation_desirability_no_removal(benchmark, harness_result):
     config = SimrankConfig(iterations=7, zero_evidence_floor=0.1)
     cases = select_desirability_cases(graph, num_cases=40, rng=random.Random(7))
     factories = {
-        name: (lambda name=name: create_method(name, config=config))
+        name: (lambda name=name: create(name, config=config))
         for name in ("simrank", "evidence_simrank", "weighted_simrank")
     }
 

@@ -6,7 +6,7 @@ rewrites each variant produces.
 """
 
 from repro.core.config import EvidenceKind, SimrankConfig
-from repro.core.registry import create_method
+from repro.api.registry import create
 from repro.core.rewriter import QueryRewriter
 from repro.eval.reporting import format_table
 
@@ -14,7 +14,7 @@ from repro.eval.reporting import format_table
 def _rewrites(workload, graph, kind, queries):
     config = SimrankConfig(iterations=7, evidence=kind, zero_evidence_floor=0.1)
     rewriter = QueryRewriter(
-        create_method("evidence_simrank", config=config),
+        create("evidence_simrank", config=config),
         bid_terms={str(term) for term in workload.bid_terms},
     ).fit(graph)
     return {query: tuple(rewriter.rewrites_for(query).candidates()) for query in queries}

@@ -7,7 +7,7 @@ adds on top of the click graph.
 
 from repro.core.config import SimrankConfig
 from repro.core.hybrid import HybridSimilarity
-from repro.core.registry import create_method
+from repro.api.registry import create
 from repro.core.rewriter import QueryRewriter
 from repro.eval.editorial import EditorialJudge
 from repro.eval.reporting import format_table
@@ -39,7 +39,7 @@ def test_ablation_hybrid_text(benchmark, small_workload, harness_result):
         rows = []
         for alpha in (1.0, 0.8, 0.6, 0.4, 0.0):
             method = HybridSimilarity(
-                create_method("weighted_simrank", config=config), alpha=alpha
+                create("weighted_simrank", config=config), alpha=alpha
             )
             coverage, precision = _evaluate(small_workload, graph, queries, method)
             rows.append(

@@ -9,7 +9,7 @@ methods need spam-resistant variants.
 import random
 
 from repro.core.config import SimrankConfig
-from repro.core.registry import create_method
+from repro.api.registry import create
 from repro.core.rewriter import QueryRewriter
 from repro.eval.editorial import EditorialJudge
 from repro.eval.reporting import format_table
@@ -34,7 +34,7 @@ def _inject_spam(graph: ClickGraph, rng: random.Random, num_target_ads: int = 5,
 def _precision(workload, graph, queries, method_name):
     config = SimrankConfig(iterations=7, zero_evidence_floor=0.1)
     rewriter = QueryRewriter(
-        create_method(method_name, config=config),
+        create(method_name, config=config),
         bid_terms={str(term) for term in workload.bid_terms},
     ).fit(graph)
     judge = EditorialJudge(workload)

@@ -6,7 +6,7 @@ precision of the resulting rewrites.
 """
 
 from repro.core.config import SimrankConfig
-from repro.core.registry import create_method
+from repro.api.registry import create
 from repro.core.rewriter import QueryRewriter
 from repro.eval.editorial import EditorialJudge
 from repro.eval.reporting import format_table
@@ -16,7 +16,7 @@ from repro.graph.click_graph import WeightSource
 def _precision_at_5(workload, graph, queries, source):
     config = SimrankConfig(iterations=7, weight_source=source, zero_evidence_floor=0.1)
     rewriter = QueryRewriter(
-        create_method("weighted_simrank", config=config),
+        create("weighted_simrank", config=config),
         bid_terms={str(term) for term in workload.bid_terms},
     ).fit(graph)
     judge = EditorialJudge(workload)

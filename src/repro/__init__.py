@@ -37,16 +37,27 @@ Custom similarity methods plug into the registry without touching core::
 
     engine = RewriteEngine.from_graph(graph, EngineConfig(method="my_method")).fit()
 
+Fitted engines also serve without the score matrix resident:
+``engine.export_store(path)`` materializes the rewrite lists into a
+single-file SQLite serving store and ``RewriteEngine.from_store(path)``
+revives a serving-only engine answering byte-equal rewrites via indexed
+point lookups (see :mod:`repro.store`);
+:func:`~repro.api.sources.resolve_engine_source` is the one front door
+over store / snapshot / fresh-fit engine construction.
+
 The pre-registry entry point ``create_method(name, config, backend)`` still
-works as a deprecation shim; see CHANGES.md for the migration note.
+works as a deprecation shim (removal planned for version 2.0); see
+CHANGES.md for the migration note.
 """
 
 from repro.api import (
     EngineConfig,
     EngineSnapshotStore,
+    ResolvedEngine,
     RewriteEngine,
     available_methods,
     register_method,
+    resolve_engine_source,
 )
 from repro.core import (
     BipartiteSimrank,
@@ -72,16 +83,30 @@ from repro.graph import (
     EdgeStats,
     WeightSource,
 )
+from repro.store import (
+    InMemoryServingStore,
+    ServingOnlyEngineError,
+    ServingStore,
+    SqliteServingStore,
+    StoreError,
+)
 from repro.synth import generate_workload, yahoo_like_workload
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "EngineConfig",
     "EngineSnapshotStore",
+    "ResolvedEngine",
     "RewriteEngine",
     "available_methods",
     "register_method",
+    "resolve_engine_source",
+    "InMemoryServingStore",
+    "ServingOnlyEngineError",
+    "ServingStore",
+    "SqliteServingStore",
+    "StoreError",
     "BipartiteSimrank",
     "EvidenceSimrank",
     "MatrixSimrank",

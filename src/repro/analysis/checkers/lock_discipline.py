@@ -87,6 +87,14 @@ GUARDED_BY: Dict[str, Dict[str, str]] = {
         "_misses": "_cache_lock",
         "_evictions": "_cache_lock",
     },
+    # repro/store/sqlite.py -- one shared connection, so every point
+    # lookup (and the counters it bumps) serialises on the store lock.
+    "SqliteServingStore": {
+        "_connection": "_lock",
+        "_lookups": "_lock",
+        "_empty_lookups": "_lock",
+        "_closed": "_lock",
+    },
 }
 
 _GUARDED_ANNOTATION = re.compile(r"#:\s*guarded-by:\s*(?P<lock>\w+)")

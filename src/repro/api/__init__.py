@@ -131,6 +131,24 @@ lists with least-recently-used eviction (``None``, the default, keeps every
 entry -- the paper's full-precompute mode).  Evictions are counted in
 ``CacheInfo.evictions``; an evicted query costs one recompute on its next
 sighting and never a different result.
+
+Serving stores and the engine-source resolver
+---------------------------------------------
+
+Serving does not even require the score matrix resident:
+``engine.export_store(path)`` materializes the per-query rewrite lists
+into a single-file SQLite serving store (ranked inside the database by a
+window-function query under the exact in-memory tie-break, then filtered
+by the real Section 9.3 pipeline -- :mod:`repro.store`), and
+``RewriteEngine.from_store(path)`` revives a serving-only engine that
+answers byte-equal rewrite lists via indexed point lookups with O(cache)
+resident memory.  :func:`repro.api.sources.resolve_engine_source` is the
+one front door over every engine source -- serving store, snapshot
+directory (with crash-safe sibling fallback) or fresh fit -- used by the
+serving CLI and the eval harness alike.
+``benchmarks/bench_sql_serving.py`` gates store-backed serving at
+byte-equal profiles, p99 lookup latency within 5x of in-memory and
+measurably lower peak RSS than full-snapshot serving.
 """
 
 from repro.api.config import ConfigError, EngineConfig
@@ -158,8 +176,11 @@ from repro.api.snapshot import (
     warm_start_from_snapshot,
     write_snapshot,
 )
+from repro.api.sources import ResolvedEngine, resolve_engine_source
 
 __all__ = [
+    "ResolvedEngine",
+    "resolve_engine_source",
     "ConfigError",
     "EngineConfig",
     "CacheInfo",

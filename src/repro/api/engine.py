@@ -22,6 +22,17 @@ the fixpoint.  The serving cache is bounded by ``EngineConfig.cache_size``
 (LRU eviction; ``None`` keeps every entry for the paper's full-precompute
 mode).
 
+Serving can also run without the score matrix resident at all:
+``engine.export_store(path)`` materializes the per-query rewrite lists
+into a single-file SQLite serving store (:mod:`repro.store`) and
+``RewriteEngine.from_store(path)`` revives a *serving-only* engine that
+answers ``rewrite`` / ``rewrite_batch`` / ``expansions`` with indexed
+point lookups through the same LRU cache -- byte-equal results, resident
+memory O(cache) instead of O(nnz).  Store-backed engines cannot ``fit`` /
+``refresh`` / ``save`` / ``explain`` / ``export_store`` (those raise
+:class:`~repro.store.base.ServingOnlyEngineError`); refit the original
+engine and re-export instead.
+
 The fit also survives *graph change*: ``engine.refresh(delta)`` applies a
 :class:`~repro.graph.delta.ClickGraphDelta` to the bound graph, refits
 warm-started from the current scores and invalidates only the cache
@@ -64,6 +75,7 @@ from repro.graph.delta import ClickGraphDelta
 
 if TYPE_CHECKING:
     from repro.core.planner import PlanReport
+    from repro.store.base import ServingStore
 
 __all__ = ["CacheInfo", "Explanation", "RefreshInfo", "RewriteEngine"]
 
@@ -209,6 +221,11 @@ class RewriteEngine:
         #: an out-of-band method.fit()/restore() bumps the method's counter
         #: and the next serve drops the stale caches (see _require_fitted).
         self._served_generation: Optional[int] = None
+        #: Serving source for store-backed engines (:meth:`from_store`);
+        #: when set, cache misses read materialized rewrite lists from the
+        #: store instead of running the similarity scan, and the
+        #: control-plane operations raise ServingOnlyEngineError.
+        self._store: Optional["ServingStore"] = None
 
     @classmethod
     def from_graph(
@@ -251,7 +268,12 @@ class RewriteEngine:
 
     @property
     def is_fitted(self) -> bool:
-        return self.method.is_fitted
+        return self._store is not None or self.method.is_fitted
+
+    @property
+    def serving_store(self) -> Optional["ServingStore"]:
+        """The store a :meth:`from_store` engine serves from (else ``None``)."""
+        return self._store
 
     @property
     def plan_report(self) -> Optional[PlanReport]:
@@ -288,6 +310,7 @@ class RewriteEngine:
             engine = RewriteEngine.load("engines/two-week-weighted")
             engine.fit(todays_graph, warm_start=True)   # cheap refit
         """
+        self._ensure_not_store_backed("fit")
         # Validate before rebinding self._graph: a rejected warm start must
         # not leave engine.graph pointing at a graph the held scores (and a
         # later save()'s recorded fingerprint) were never fitted on.
@@ -368,6 +391,7 @@ class RewriteEngine:
         copy-on-write swap); readers holding the old engine then never
         observe partial refresh state.
         """
+        self._ensure_not_store_backed("refresh")
         faults.fire("engine.refresh")
         self._require_fitted()
         if self._graph is None:
@@ -473,6 +497,10 @@ class RewriteEngine:
         clone._snapshot_state_generation = self._snapshot_state_generation
         clone._snapshot_plan = self._snapshot_plan
         clone._served_generation = self._served_generation
+        # Stores are shared, not duplicated: lookups are lock-guarded pure
+        # reads, and a store-backed engine has no mutable fitted state for
+        # the copies to diverge on.
+        clone._store = self._store
         return clone
 
     def _warm_start_sound(self) -> bool:
@@ -527,7 +555,7 @@ class RewriteEngine:
         # unbounded memo, otherwise the LRU bound would not bound anything.
         # Computed outside the lock -- this is the expensive part, and
         # holding the lock through it would serialize concurrent serving.
-        result = self._rewriter.compute_rewrites(query)
+        result = self._compute_rewrites(query)
         with self._cache_lock:
             self._cache[query] = result
             capacity = self.config.cache_size
@@ -536,6 +564,12 @@ class RewriteEngine:
                     self._cache.popitem(last=False)
                     self._evictions += 1
         return result
+
+    def _compute_rewrites(self, query: Node) -> RewriteList:
+        """One cache miss: the store's materialized list or a live scan."""
+        if self._store is not None:
+            return self._store.rewrites(query)
+        return self._rewriter.compute_rewrites(query)
 
     def rewrite_batch(self, queries: Sequence[Node]) -> List[RewriteList]:
         """Rewrite lists for a whole traffic batch, aligned with the input.
@@ -600,7 +634,9 @@ class RewriteEngine:
         """
         self._require_fitted()
         if queries is None:
-            if self._graph is not None:
+            if self._store is not None:
+                queries = self._store.queries()
+            elif self._graph is not None:
                 queries = self._graph.queries()
             elif (
                 self._precompute_universe is not None
@@ -688,10 +724,31 @@ class RewriteEngine:
             return list(index)
         return list(scores.nodes())
 
+    def _serving_universe(self) -> List[Node]:
+        """Every query serving must answer, in deterministic (repr) order.
+
+        The fitted graph's query set when a graph is bound, the recorded
+        snapshot universe on a revived engine, the score store's queries as
+        the last resort -- the same precedence :meth:`precompute` uses.
+        Store exports (:meth:`export_store`,
+        :meth:`~repro.store.memory.InMemoryServingStore.from_engine`)
+        persist exactly this set as the store's query universe.
+        """
+        if self._store is not None:
+            return self._store.queries()
+        if self._graph is not None:
+            universe = self._graph.queries()
+        elif self._precompute_universe is not None and self._snapshot_state_fresh():
+            universe = self._precompute_universe
+        else:
+            universe = self._score_store_queries()
+        return sorted(universe, key=repr)
+
     # ----------------------------------------------------------- explanation
 
     def explain(self, query: Node, rewrite: Node) -> Explanation:
         """Trace the filter pipeline to explain one (query, rewrite) decision."""
+        self._ensure_not_store_backed("explain")
         self._require_fitted()
         decisions = tuple(self._rewriter.explain_candidates(query))
         for decision in decisions:
@@ -756,6 +813,7 @@ class RewriteEngine:
         :class:`~repro.graph.storage.ClickGraphStore` if refitting later
         matters).
         """
+        self._ensure_not_store_backed("save")
         from repro.api.snapshot import write_snapshot
 
         return write_snapshot(self, path)
@@ -773,9 +831,68 @@ class RewriteEngine:
 
         return read_snapshot(path, engine_cls=cls)
 
+    def export_store(self, path: PathLike) -> Path:
+        """Materialize the fitted serving lists as a SQLite store file.
+
+        Ranks every query's candidate pool inside the database (a
+        window-function query under the exact in-memory tie-break), runs
+        the Section 9.3 filter pipeline over the pools and writes the
+        surviving per-query top-k lists into a single crash-safe SQLite
+        file -- see :mod:`repro.store.sqlite`.  :meth:`from_store` then
+        serves byte-equal rewrite lists from it with O(cache) resident
+        memory.  Returns the store path.
+        """
+        self._ensure_not_store_backed("export_store")
+        from repro.store.sqlite import export_serving_store
+
+        return export_serving_store(self, path)
+
+    @classmethod
+    def from_store(
+        cls, source: Union[PathLike, "ServingStore"]
+    ) -> "RewriteEngine":
+        """Revive a serving-only engine from an exported serving store.
+
+        ``source`` is a store path (opened as a
+        :class:`~repro.store.sqlite.SqliteServingStore`) or an already-open
+        :class:`~repro.store.base.ServingStore`.  The engine rebuilds its
+        serving knobs (``cache_size``, ``max_rewrites``) from the config
+        recorded in the store and answers ``rewrite`` / ``rewrite_batch`` /
+        ``expansions`` through the usual LRU cache, each miss being one
+        store lookup.  Control-plane operations (``fit``, ``refresh``,
+        ``save``, ``explain``, ``export_store``) raise
+        :class:`~repro.store.base.ServingOnlyEngineError`: the store holds
+        materialized lists, not the score matrix.
+        """
+        from repro.store.base import ServingStore
+        from repro.store.sqlite import SqliteServingStore
+
+        store = source if isinstance(source, ServingStore) else SqliteServingStore(source)
+        payload = store.engine_config()
+        config = EngineConfig.from_dict(payload) if payload else None
+        engine = cls(config=config)
+        engine._store = store
+        return engine
+
     # ------------------------------------------------------------------ misc
 
+    def _ensure_not_store_backed(self, operation: str) -> None:
+        if self._store is None:
+            return
+        from repro.store.base import ServingOnlyEngineError
+
+        raise ServingOnlyEngineError(
+            f"{operation}() is unavailable on a store-backed engine: it "
+            "serves materialized rewrite lists, not the fitted score "
+            "matrix; refit (or load) the original engine and re-export "
+            "the store instead"
+        )
+
     def _require_fitted(self) -> None:
+        if self._store is not None:
+            # Store-backed serving has no method fit generation to track;
+            # the store's materialized lists are immutable.
+            return
         if not self.is_fitted:
             raise RuntimeError(
                 "RewriteEngine has not been fitted; call .fit(graph) "
@@ -791,6 +908,8 @@ class RewriteEngine:
 
     def __repr__(self) -> str:
         state = "fitted" if self.is_fitted else "unfitted"
+        if self._store is not None:
+            state = f"store-backed ({self._store.kind})"
         with self._cache_lock:
             cached = len(self._cache)
         return (

@@ -35,10 +35,8 @@ snapshot per name, with the same save/load/list/delete surface.
 
 from __future__ import annotations
 
-import glob as globmodule
 import itertools
 import json
-import os
 import shutil
 from pathlib import Path
 from typing import List, Union
@@ -46,6 +44,7 @@ from typing import List, Union
 from scipy import sparse
 
 from repro.api.config import EngineConfig
+from repro.api.staging import staged_write
 from repro.core import faults
 from repro.core.scores import SimilarityScores
 from repro.core.scores_array import ArraySimilarityScores
@@ -70,11 +69,9 @@ SNAPSHOT_FORMAT_VERSION = 1
 MANIFEST_FILENAME = "manifest.json"
 SCORES_FILENAME = "query_scores.npz"
 
-#: Distinguishes staging directories created by one process (thread-safe
-#: names; the pid alone would collide across concurrent same-name saves).
-_STAGING_SEQUENCE = itertools.count()
-
-#: Node-id types that round-trip *exactly* through JSON.
+#: Node-id types that round-trip *exactly* through JSON.  Shared with the
+#: SQLite serving store (repro.store.sqlite), which has the same "node ids
+#: must survive serialization exactly" contract.
 _JSON_EXACT_NODE_TYPES = (str, int, float, bool)
 
 
@@ -123,25 +120,6 @@ def _plan_dict(engine):
     """The engine's ``backend="auto"`` plan as manifest JSON (None without one)."""
     plan = getattr(engine, "plan_report", None)
     return plan.to_dict() if plan is not None else None
-
-
-def _pid_is_alive(pid: int) -> bool:
-    """Best-effort liveness probe; conservative (alive) when unknowable.
-
-    ``os.kill(pid, 0)`` is a pure probe only on POSIX -- on Windows any
-    signal value outside the CTRL events *terminates* the target -- so
-    non-POSIX platforms report every pid as alive and leave staging debris
-    for manual (or POSIX-side) cleanup rather than risk killing a process.
-    """
-    if os.name != "posix":
-        return True
-    try:
-        os.kill(pid, 0)
-    except ProcessLookupError:
-        return False
-    except OSError:
-        return True
-    return True
 
 
 # ------------------------------------------------------------------- writing
@@ -222,24 +200,7 @@ def write_snapshot(engine, path: PathLike) -> Path:
             "plan": _plan_dict(engine),
         },
     }
-    # Sweep staging debris of earlier *crashed* saves of this name: dotted
-    # staging directories are invisible to the named store's listing, so
-    # nothing else would ever reclaim them.  A staging directory whose pid
-    # suffix names a live process is a concurrent save in flight -- possibly
-    # another thread of this very process -- so only dead-pid (or
-    # unparsable) debris is reclaimed.
-    staging_prefix = f".{path.name}.staging-"
-    for stale in path.parent.glob(globmodule.escape(staging_prefix) + "*"):
-        pid_text = stale.name[len(staging_prefix):].split("-", 1)[0]
-        if pid_text.isdigit() and _pid_is_alive(int(pid_text)):
-            continue
-        shutil.rmtree(stale, ignore_errors=True)
-    staging = path.parent / f"{staging_prefix}{os.getpid()}-{next(_STAGING_SEQUENCE)}"
-    staging.mkdir()
-    displaced = []
-    try:
-        sparse.save_npz(staging / SCORES_FILENAME, array.matrix.tocsr())
-        (staging / MANIFEST_FILENAME).write_text(json.dumps(manifest, indent=2) + "\n")
+    def _maybe_corrupt(staging: Path) -> None:
         if faults.should_corrupt("snapshot.write"):
             # Injected torn write: publish a snapshot whose score matrix was
             # cut off mid-write.  The manifest stays valid -- the worst
@@ -247,42 +208,15 @@ def write_snapshot(engine, path: PathLike) -> Path:
             scores_file = staging / SCORES_FILENAME
             data = scores_file.read_bytes()
             scores_file.write_bytes(data[: max(1, len(data) // 2)])
-        # Publish with renames only -- a completed snapshot is never rmtree'd
-        # out from under a concurrent reader or writer; the previous version
-        # is atomically moved aside and reclaimed after the swap succeeds.
-        for _ in range(3):
-            aside = path.parent / (
-                f"{staging_prefix}{os.getpid()}-{next(_STAGING_SEQUENCE)}.old"
-            )
-            try:
-                os.replace(path, aside)
-                displaced.append(aside)
-            except FileNotFoundError:
-                pass  # nothing (left) to move aside
-            try:
-                os.replace(staging, path)
-                break
-            except OSError:
-                continue  # a concurrent writer republished first; retry
-        else:
-            raise SnapshotError(
-                f"could not swap snapshot into place at {path}; another "
-                "process keeps republishing the same name"
-            )
-    except BaseException:
-        shutil.rmtree(staging, ignore_errors=True)
-        # A failed publish must not lose the previous good snapshot: put the
-        # newest displaced version back if the name ended up empty.
-        if displaced and not path.exists():
-            try:
-                os.replace(displaced.pop(), path)
-            except OSError:
-                pass
-        for old in displaced:
-            shutil.rmtree(old, ignore_errors=True)
-        raise
-    for old in displaced:
-        shutil.rmtree(old, ignore_errors=True)
+
+    # Staged write, rename-only publish, crashed-writer debris sweep and
+    # displaced-version restore: repro.api.staging.staged_write, shared with
+    # the SQLite serving-store export.
+    with staged_write(
+        path, directory=True, error=SnapshotError, on_complete=_maybe_corrupt
+    ) as staging:
+        sparse.save_npz(staging / SCORES_FILENAME, array.matrix.tocsr())
+        (staging / MANIFEST_FILENAME).write_text(json.dumps(manifest, indent=2) + "\n")
     return path
 
 
@@ -481,6 +415,17 @@ class EngineSnapshotStore:
         if name not in self:
             raise KeyError(f"no stored engine snapshot named {name!r}")
         return read_manifest(self.path(name))
+
+    def materialize(self, name: str, path: PathLike) -> Path:
+        """Export the named snapshot as a SQLite serving store at ``path``.
+
+        The offline hand-off in one call: revive the snapshotted engine,
+        rank and filter its serving lists into a single-file store
+        (:meth:`RewriteEngine.export_store <repro.api.engine.RewriteEngine.export_store>`),
+        and return the store path -- ready to ship to serving nodes that
+        never hold the score matrix.  Raises ``KeyError`` if unknown.
+        """
+        return self.load(name).export_store(path)
 
     def delete(self, name: str) -> None:
         """Remove a stored snapshot (no-op when absent or unstorable)."""

@@ -1,0 +1,177 @@
+"""Staged writes with atomic rename-publish, shared by every exporter.
+
+A snapshot directory (:mod:`repro.api.snapshot`) and a SQLite serving store
+(:mod:`repro.store.sqlite`) have the same publication problem: the artifact
+is written in multiple steps, and a crash mid-write must never leave a
+half-written version *discoverable* under the published name -- a torn
+snapshot would serve silently wrong scores, a torn database would fail (or
+worse, answer) point lookups.  Both therefore write into a dotted sibling
+staging path and swap it into place only once complete.
+
+:func:`staged_write` packages that discipline once:
+
+* The staging path is ``.{name}.staging-{pid}-{seq}`` next to the target --
+  dotted, so named-store listings and sibling-fallback scans never see it;
+  pid + per-process sequence, so concurrent saves (threads or processes)
+  of the same name never collide.
+* Debris of earlier *crashed* writers of the same name is swept first, but
+  only when the pid embedded in the name is provably dead -- a live pid is
+  a concurrent writer mid-flight (possibly another thread of this very
+  process) and must not be touched.
+* Publication uses renames only.  A completed artifact is never deleted out
+  from under a concurrent reader: a directory target is atomically moved
+  aside and reclaimed only after the swap succeeds, and a failed publish
+  restores the newest displaced version so the name never ends up empty.
+  File targets need no displacement -- ``os.replace`` overwrites a file
+  atomically -- so their publish is a single rename.
+
+The helper is pure stdlib and imports nothing from the rest of the package,
+so both the snapshot layer and the store layer can use it without import
+cycles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import glob as globmodule
+import itertools
+import os
+import shutil
+from pathlib import Path
+from typing import Callable, Iterator, Type
+
+__all__ = ["staged_write"]
+
+#: Distinguishes staging paths created by one process (thread-safe names;
+#: the pid alone would collide across concurrent same-name saves).
+_STAGING_SEQUENCE = itertools.count()
+
+
+def _pid_is_alive(pid: int) -> bool:
+    """Best-effort liveness probe; conservative (alive) when unknowable.
+
+    ``os.kill(pid, 0)`` is a pure probe only on POSIX -- on Windows any
+    signal value outside the CTRL events *terminates* the target -- so
+    non-POSIX platforms report every pid as alive and leave staging debris
+    for manual (or POSIX-side) cleanup rather than risk killing a process.
+    """
+    if os.name != "posix":
+        return True
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True
+    return True
+
+
+def _remove(path: Path) -> None:
+    """Delete a staging path of either kind, best-effort."""
+    if path.is_dir():
+        shutil.rmtree(path, ignore_errors=True)
+    else:
+        with contextlib.suppress(OSError):
+            path.unlink()
+
+
+def _sweep_debris(target: Path, staging_prefix: str) -> None:
+    """Reclaim staging paths of earlier crashed writers of this name.
+
+    Dotted staging paths are invisible to named-store listings, so nothing
+    else would ever reclaim them.  A staging path whose pid suffix names a
+    live process is a concurrent write in flight and is left alone; only
+    dead-pid (or unparsable) debris is removed.
+    """
+    for stale in target.parent.glob(globmodule.escape(staging_prefix) + "*"):
+        pid_text = stale.name[len(staging_prefix):].split("-", 1)[0]
+        if pid_text.isdigit() and _pid_is_alive(int(pid_text)):
+            continue
+        _remove(stale)
+
+
+@contextlib.contextmanager
+def staged_write(
+    target: Path,
+    *,
+    directory: bool,
+    error: Type[Exception],
+    on_complete: Callable[[Path], None] = lambda staging: None,
+) -> Iterator[Path]:
+    """Yield a staging path next to ``target``; publish atomically on success.
+
+    Parameters
+    ----------
+    target:
+        The final published path.  The parent directory is created.
+    directory:
+        True when the artifact is a directory (the staging directory is
+        created before the body runs); False for a single file (the body
+        creates the file at the yielded path itself).
+    error:
+        Exception type raised when the rename-publish cannot win against a
+        concurrent writer that keeps republishing the same name.
+    on_complete:
+        Called with the staging path after the body finishes but before the
+        swap -- the hook for injected torn-write corruption in tests.
+
+    On any exception from the body the staging path is removed, the newest
+    displaced previous version (if the publish had begun) is restored, and
+    the exception propagates: a crashed write can never leave a half-written
+    artifact discoverable under ``target``.
+    """
+    target = Path(target)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    staging_prefix = f".{target.name}.staging-"
+    _sweep_debris(target, staging_prefix)
+    staging = target.parent / (
+        f"{staging_prefix}{os.getpid()}-{next(_STAGING_SEQUENCE)}"
+    )
+    if directory:
+        staging.mkdir()
+    displaced = []
+    try:
+        yield staging
+        on_complete(staging)
+        if not directory:
+            # os.replace overwrites a file atomically; readers holding an
+            # open handle on the previous version keep reading it (POSIX).
+            os.replace(staging, target)
+            return
+        # Publish with renames only -- a completed artifact is never
+        # rmtree'd out from under a concurrent reader or writer; the
+        # previous version is atomically moved aside and reclaimed after
+        # the swap succeeds.
+        for _ in range(3):
+            aside = target.parent / (
+                f"{staging_prefix}{os.getpid()}-{next(_STAGING_SEQUENCE)}.old"
+            )
+            try:
+                os.replace(target, aside)
+                displaced.append(aside)
+            except FileNotFoundError:
+                pass  # nothing (left) to move aside
+            try:
+                os.replace(staging, target)
+                break
+            except OSError:
+                continue  # a concurrent writer republished first; retry
+        else:
+            raise error(
+                f"could not swap staged write into place at {target}; another "
+                "process keeps republishing the same name"
+            )
+    except BaseException:
+        _remove(staging)
+        # A failed publish must not lose the previous good version: put the
+        # newest displaced one back if the name ended up empty.
+        if displaced and not target.exists():
+            try:
+                os.replace(displaced.pop(), target)
+            except OSError:
+                pass
+        for old in displaced:
+            _remove(old)
+        raise
+    for old in displaced:
+        _remove(old)

@@ -27,14 +27,15 @@ def create_method(
 ) -> QuerySimilarityMethod:
     """Instantiate a similarity method by name.
 
-    .. deprecated::
+    .. deprecated:: 1.1
         Use :func:`repro.api.registry.create` or a
-        :class:`repro.api.engine.RewriteEngine` instead; this shim forwards to
-        the registry and will be removed in a future release.
+        :class:`repro.api.engine.RewriteEngine` instead; this shim forwards
+        to the registry and will be removed in version 2.0.
     """
     warnings.warn(
-        "repro.create_method is deprecated; use repro.api.registry.create "
-        "(or RewriteEngine for serving) instead",
+        "repro.create_method is deprecated and will be removed in version "
+        "2.0; use repro.api.registry.create (or RewriteEngine for serving) "
+        "instead",
         DeprecationWarning,
         stacklevel=2,
     )

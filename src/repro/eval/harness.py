@@ -38,6 +38,7 @@ from repro.api.config import EngineConfig
 from repro.api.engine import RewriteEngine
 from repro.api.registry import PAPER_METHODS, create
 from repro.api.snapshot import EngineSnapshotStore, SnapshotError, graph_fingerprint
+from repro.api.sources import resolve_engine_source
 from repro.core.config import SimrankConfig
 from repro.core.planner import PlanReport
 from repro.core.rewriter import RewriteList
@@ -311,12 +312,20 @@ class ExperimentHarness:
                 store, name, method_name, dataset
             ):
                 try:
-                    return store.load(name)
+                    # No sibling fallback here: a sibling snapshot would be
+                    # a *different* method/backend, not a stand-in.
+                    return resolve_engine_source(
+                        snapshot=store.path(name), fallback_siblings=False
+                    ).engine
                 except SnapshotError:
                     pass  # damaged snapshot: fall through to a fresh fit
         engine = self._warm_started_engine(name, method_name, dataset)
         if engine is None:
-            engine = self._build_engine(method_name).fit(dataset)
+            engine = resolve_engine_source(
+                graph=dataset,
+                config=self._engine_config(method_name),
+                bid_terms=self._bid_terms(),
+            ).engine
         if self.save_engines_to is not None:
             EngineSnapshotStore(self.save_engines_to).save(name, engine)
         return engine
@@ -395,11 +404,6 @@ class ExperimentHarness:
 
     def _bid_terms(self) -> frozenset:
         return frozenset(str(term) for term in self.workload.bid_terms)
-
-    def _build_engine(self, method_name: str) -> RewriteEngine:
-        return RewriteEngine(
-            self._engine_config(method_name), bid_terms=self._bid_terms()
-        )
 
     def _pooled_relevant(
         self,

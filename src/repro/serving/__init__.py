@@ -37,9 +37,10 @@ parts (:mod:`repro.serving.resilience`):
 * **Retried publishes.**  Transient ``/refresh``/``/reload`` failures (a
   crashed fit worker, an injected outage) are retried with exponential
   backoff and seeded jitter (``refresh_retries`` / ``refresh_backoff_s``);
-  client errors (400) and corrupt snapshots (:class:`~repro.api.snapshot.
-  SnapshotError` -> 500) are never retried, and the old engine stays
-  published either way.
+  client errors (400) and corrupt snapshots or store files
+  (:class:`~repro.api.snapshot.SnapshotError` /
+  :class:`~repro.store.StoreError` -> 500) are never retried, and the
+  old engine stays published either way.
 * **Circuit breaker.**  After ``breaker_threshold`` consecutive transient
   publish failures the breaker opens: further publish requests are shed
   with 503 while rewrite traffic continues against the stale engine.
@@ -53,7 +54,29 @@ parts (:mod:`repro.serving.resilience`):
   successful refresh returns a degraded server to healthy.
 * **Crash-safe startup.**  ``serve --snapshot DIR`` falls back to the
   newest loadable sibling snapshot when ``DIR`` is corrupt
-  (:func:`~repro.serving.resilience.load_engine_with_fallback`).
+  (:func:`repro.api.sources.resolve_engine_source`, which the deprecated
+  :func:`~repro.serving.resilience.load_engine_with_fallback` now wraps).
+
+Engine sources
+--------------
+
+Every way the serving tier obtains an engine goes through
+:func:`repro.api.sources.resolve_engine_source`:
+
+====================  ====================================================
+``snapshot=DIR``      revive a fitted engine from a snapshot directory,
+                      with crash-safe sibling fallback (``serve
+                      --snapshot``); hot-swap later via ``POST /reload``
+``store=FILE``        serving-only engine over a materialized SQLite
+                      serving store (``serve --store``): indexed point
+                      lookups, O(cache) resident memory, no ``/refresh``
+                      or ``/reload`` -- re-export and restart instead
+``graph=ClickGraph``  fit fresh at startup (the ``serve --size`` synthetic
+                      demo path)
+====================  ====================================================
+
+``/stats`` reports the store kind and lookup counters under
+``engine.store`` when serving store-backed (``null`` otherwise).
 
 All of it is exercised by deterministic fault injection
 (:mod:`repro.core.faults`): named fault points in snapshot IO, shard-fit

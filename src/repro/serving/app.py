@@ -1,18 +1,27 @@
 """The ``simrankpp-experiments serve`` subcommand: stand up a rewrite server.
 
-Two ways to get a servable engine:
+Three ways to get a servable engine (all resolved through
+:func:`repro.api.sources.resolve_engine_source`):
 
-* ``--snapshot DIR`` -- revive a fitted engine from an
-  :class:`~repro.api.snapshot` directory (the production path: fit offline,
-  snapshot, serve online; hot-swap later via ``POST /reload``);
-* no snapshot -- fit on a synthetic Yahoo!-like workload
-  (``--size/--seed/--method/--backend/--iterations/--tolerance``), the
-  self-contained demo path.
+==================  ========================================================
+``--snapshot DIR``  revive a fitted engine from an :mod:`~repro.api.snapshot`
+                    directory (the production path: fit offline, snapshot,
+                    serve online; hot-swap later via ``POST /reload``)
+``--store FILE``    serve materialized rewrite lists from a SQLite serving
+                    store (``RewriteEngine.export_store``): indexed point
+                    lookups, resident memory O(cache) instead of O(score
+                    matrix); ``/refresh`` and ``/reload`` are unavailable --
+                    re-export and restart to pick up a new fit
+``(neither)``       fit on a synthetic Yahoo!-like workload
+                    (``--size/--seed/--method/--backend/--iterations/
+                    --tolerance``), the self-contained demo path
+==================  ========================================================
 
 Examples::
 
     simrankpp-experiments serve --size small --port 8641
     simrankpp-experiments serve --snapshot engines/two-week-weighted --precompute
+    simrankpp-experiments serve --store engines/two-week-weighted.sqlite
     simrankpp-experiments serve --size tiny --serve-seconds 5   # smoke run
 
 The process serves until SIGINT/SIGTERM (or ``--serve-seconds``), then
@@ -32,9 +41,9 @@ from typing import Optional, Sequence
 
 from repro.api.config import EngineConfig
 from repro.api.engine import RewriteEngine
+from repro.api.sources import resolve_engine_source
 from repro.core.config import SimrankConfig
 from repro.serving.holder import EngineHolder
-from repro.serving.resilience import load_engine_with_fallback
 from repro.serving.server import RewriteServer, ServerConfig
 
 __all__ = ["build_serve_parser", "build_engine", "serve_main"]
@@ -56,6 +65,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
         default=None,
         help="serve an engine revived from this snapshot directory "
         "(otherwise a synthetic workload is fitted at startup)",
+    )
+    source.add_argument(
+        "--store",
+        metavar="FILE",
+        default=None,
+        help="serve materialized rewrite lists from this SQLite serving "
+        "store (RewriteEngine.export_store); mutually exclusive with "
+        "--snapshot, and /refresh and /reload are unavailable -- "
+        "re-export and restart to pick up a new fit",
     )
     source.add_argument(
         "--size",
@@ -134,21 +152,28 @@ def build_serve_parser() -> argparse.ArgumentParser:
 
 
 def build_engine(args: argparse.Namespace) -> RewriteEngine:
-    """The engine the server publishes first: snapshot-revived or freshly fitted.
+    """The engine the server publishes first: store, snapshot or fresh fit.
 
-    A corrupt ``--snapshot`` (torn write, missing files) does not abort
-    startup: the newest loadable sibling snapshot is served instead, with
-    a warning on stderr -- crash-safe startup over refusing to serve.
+    All three sources go through
+    :func:`repro.api.sources.resolve_engine_source`.  A corrupt
+    ``--snapshot`` (torn write, missing files) does not abort startup: the
+    newest loadable sibling snapshot is served instead, with a warning on
+    stderr -- crash-safe startup over refusing to serve.
     """
-    if args.snapshot:
-        engine, loaded_from = load_engine_with_fallback(
-            args.snapshot,
-            warn=lambda message: print(f"warning: {message}", file=sys.stderr),
-        )
-        if str(loaded_from) != str(args.snapshot):
+    if getattr(args, "store", None) and args.snapshot:
+        raise ValueError("--store and --snapshot are mutually exclusive")
+
+    def warn(message: str) -> None:
+        print(f"warning: {message}", file=sys.stderr)
+
+    if getattr(args, "store", None):
+        resolved = resolve_engine_source(store=args.store)
+    elif args.snapshot:
+        resolved = resolve_engine_source(snapshot=args.snapshot, warn=warn)
+        if resolved.degraded:
             print(
-                f"warning: started degraded -- serving {loaded_from} instead of "
-                f"requested snapshot {args.snapshot}",
+                f"warning: started degraded -- serving {resolved.origin} instead "
+                f"of requested snapshot {args.snapshot}",
                 file=sys.stderr,
             )
     else:
@@ -162,9 +187,10 @@ def build_engine(args: argparse.Namespace) -> RewriteEngine:
                 iterations=args.iterations, tolerance=args.tolerance
             ),
         )
-        engine = RewriteEngine.from_graph(
-            workload.click_graph, config, bid_terms=workload.bid_terms
-        ).fit()
+        resolved = resolve_engine_source(
+            graph=workload.click_graph, config=config, bid_terms=workload.bid_terms
+        )
+    engine = resolved.engine
     if args.precompute:
         engine.precompute()
     return engine

@@ -148,17 +148,23 @@ class EngineHolder:
             return version
 
     def reload(self, path: PathLike, precompute: bool = False) -> int:
-        """Publish an engine revived from a snapshot directory; returns its version.
+        """Publish an engine revived from disk; returns its version.
 
-        The snapshot is loaded (and optionally pre-warmed over its recorded
-        query universe) entirely before the swap, so serving never reads a
-        half-loaded engine.  The load itself runs outside the swap lock --
-        it touches no shared state -- keeping concurrent ``refresh`` calls
-        unblocked until the publish.
+        ``path`` may be a snapshot *directory* or a SQLite serving-store
+        *file* (:meth:`~repro.api.engine.RewriteEngine.export_store`) --
+        files open store-backed.  The engine is loaded (and optionally
+        pre-warmed over its recorded query universe) entirely before the
+        swap, so serving never reads a half-loaded engine.  The load
+        itself runs outside the swap lock -- it touches no shared state --
+        keeping concurrent ``refresh`` calls unblocked until the publish.
         """
         started = time.perf_counter()
         try:
-            candidate = RewriteEngine.load(path)
+            candidate = (
+                RewriteEngine.from_store(path)
+                if Path(path).is_file()
+                else RewriteEngine.load(path)
+            )
             if precompute:
                 candidate.precompute()
         except Exception as exc:

@@ -25,9 +25,10 @@ holds the mechanisms that make that survivable rather than accidental:
     failed.  One successful refresh returns the server to healthy.
 
 ``load_engine_with_fallback``
-    Crash-safe startup: when the requested snapshot is corrupt (torn
-    write, missing files), fall back to the newest *loadable* sibling
-    snapshot instead of refusing to start.
+    Deprecated shim over :func:`repro.api.sources.resolve_engine_source`,
+    which now owns the crash-safe startup policy: when the requested
+    snapshot is corrupt (torn write, missing files), fall back to the
+    newest *loadable* sibling snapshot instead of refusing to start.
 
 Everything here is synchronous, dependency-free and injectable-clock
 testable; the asyncio server wraps these primitives in executor threads.
@@ -38,11 +39,12 @@ from __future__ import annotations
 import random
 import threading
 import time
+import warnings
 from pathlib import Path
-from typing import Callable, Iterator, List, Optional, Tuple, Union
+from typing import Callable, Iterator, Optional, Tuple, Union
 
 from repro.api.engine import RewriteEngine
-from repro.api.snapshot import MANIFEST_FILENAME, SnapshotError
+from repro.api.sources import _sibling_snapshots, resolve_engine_source  # noqa: F401 -- back-compat re-export
 
 __all__ = [
     "HEALTHY",
@@ -272,60 +274,33 @@ class RetryPolicy:
 PathLike = Union[str, Path]
 
 
-def _sibling_snapshots(failed: Path) -> List[Path]:
-    """Completed sibling snapshot dirs of ``failed``, newest manifest first.
-
-    Mirrors ``EngineSnapshotStore.list_snapshots``: dotted directories are
-    in-progress staging areas, and a directory without a manifest never
-    finished its rename-publish.  Manifest mtime orders candidates because
-    the manifest is the last file staged before publish.
-    """
-    parent = failed.parent
-    if not parent.is_dir():
-        return []
-    candidates = [
-        entry
-        for entry in parent.iterdir()
-        if entry.is_dir()
-        and not entry.name.startswith(".")
-        and entry != failed
-        and (entry / MANIFEST_FILENAME).is_file()
-    ]
-    candidates.sort(
-        key=lambda entry: (entry / MANIFEST_FILENAME).stat().st_mtime, reverse=True
-    )
-    return candidates
-
-
 def load_engine_with_fallback(
     path: PathLike,
     warn: Optional[Callable[[str], None]] = None,
 ) -> Tuple[RewriteEngine, Path]:
-    """Load the snapshot at ``path``, falling back to the newest loadable sibling.
+    """Load the snapshot (or serving store) at ``path``, with sibling fallback.
 
-    Returns ``(engine, directory_actually_loaded)``.  Only
-    :class:`SnapshotError` (corrupt manifest, torn score matrix, missing
-    files) triggers the fallback scan; anything else propagates untouched.
-    When no sibling loads either, the *original* error is re-raised so the
-    operator sees what was wrong with the snapshot they asked for.
+    .. deprecated:: 1.2
+        Thin shim over :func:`repro.api.sources.resolve_engine_source`,
+        the one front door over snapshot / store / fresh-fit engine
+        construction; will be removed in version 2.0.
 
-    ``warn`` (e.g. a stderr printer) is called once per skipped-over
-    snapshot so degraded startup never happens silently.
+    Returns ``(engine, path_actually_loaded)``.  A file path is opened as
+    a SQLite serving store; a directory path as a snapshot, where only
+    :class:`~repro.api.snapshot.SnapshotError` (corrupt manifest, torn
+    score matrix, missing files) triggers the sibling-fallback scan --
+    see :func:`~repro.api.sources.resolve_engine_source` for the policy.
     """
+    warnings.warn(
+        "repro.serving.load_engine_with_fallback is deprecated; use "
+        "repro.api.sources.resolve_engine_source(snapshot=...) (or "
+        "store=...) instead -- it will be removed in version 2.0",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     requested = Path(path)
-    try:
-        return RewriteEngine.load(requested), requested
-    except SnapshotError as original:
-        if warn is not None:
-            warn(f"snapshot {requested} failed to load: {original}")
-        for candidate in _sibling_snapshots(requested):
-            try:
-                engine = RewriteEngine.load(candidate)
-            except SnapshotError as error:
-                if warn is not None:
-                    warn(f"fallback snapshot {candidate} also failed: {error}")
-                continue
-            if warn is not None:
-                warn(f"serving fallback snapshot {candidate}")
-            return engine, candidate
-        raise original
+    if requested.is_file():
+        resolved = resolve_engine_source(store=requested)
+    else:
+        resolved = resolve_engine_source(snapshot=requested, warn=warn)
+    return resolved.engine, resolved.origin or requested

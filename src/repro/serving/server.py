@@ -58,6 +58,7 @@ from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tupl
 
 from repro.api.engine import RewriteEngine
 from repro.api.snapshot import SnapshotError
+from repro.store import StoreError
 from repro.core import faults
 from repro.core.parallel import available_cpu_count
 from repro.core.rewriter import RewriteList
@@ -120,8 +121,9 @@ class ServerConfig:
         Transient ``/refresh`` and ``/reload`` failures are retried this
         many times with exponential backoff (seeded jitter, see
         :class:`~repro.serving.resilience.RetryPolicy`) before the request
-        fails.  Client errors (bad delta: 400) and corrupt snapshots
-        (:class:`SnapshotError`: 500) are never retried.
+        fails.  Client errors (bad delta: 400) and corrupt snapshots or
+        store files (:class:`SnapshotError` / :class:`StoreError`: 500)
+        are never retried.
     breaker_threshold / breaker_reset_s:
         Circuit breaker over the publish path: after ``breaker_threshold``
         consecutive transient failures, further ``/refresh``/``/reload``
@@ -710,7 +712,8 @@ class RewriteServer:
 
         - ``KeyError``/``ValueError``: the client's input does not match
           the served state -- 400, never retried, breaker untouched.
-        - :class:`SnapshotError`: the pointed-at snapshot is corrupt or
+        - :class:`SnapshotError` / :class:`StoreError`: the pointed-at
+          snapshot directory or serving-store file is corrupt or
           mid-write -- 500 with the old engine still published, never
           retried (the bytes will not get better on their own).
         - anything else is transient: each failed attempt is recorded
@@ -744,6 +747,9 @@ class RewriteServer:
             except SnapshotError as exc:
                 self._breaker.release()
                 raise _HttpError(500, f"snapshot rejected: {exc}") from exc
+            except StoreError as exc:
+                self._breaker.release()
+                raise _HttpError(500, f"store rejected: {exc}") from exc
             except Exception as exc:  # noqa: BLE001 -- transient publish failure
                 self._breaker.record_failure()
                 delay = next(delays, None)
@@ -835,6 +841,13 @@ class RewriteServer:
                 "fitted": engine.is_fitted,
                 "cache": dataclasses.asdict(engine.cache_info()),
                 "last_swap_seconds": self._holder.last_swap_seconds,
+                # Store-backed engines (serve --store) report their serving
+                # source and lookup counters; None for direct serving.
+                "store": (
+                    store.describe()
+                    if (store := getattr(engine, "serving_store", None)) is not None
+                    else None
+                ),
             },
             "requests": {
                 "total": counters.requests,

@@ -8,7 +8,7 @@ from repro.core.convergence import (
     iterations_for_accuracy,
     theoretical_residual_bound,
 )
-from repro.core.registry import PAPER_METHODS, available_methods, create_method
+from repro.api.registry import PAPER_METHODS, available_methods, create
 from repro.core.scores import SimilarityScores
 from repro.core.similarity_base import QuerySimilarityMethod
 from repro.graph.click_graph import WeightSource
@@ -135,23 +135,23 @@ class TestRegistry:
 
     @pytest.mark.parametrize("name", ["pearson", "simrank", "evidence_simrank", "weighted_simrank", "common_ads", "jaccard", "cosine"])
     def test_create_every_method(self, name, fig3_graph):
-        method = create_method(name)
+        method = create(name)
         assert isinstance(method, QuerySimilarityMethod)
         method.fit(fig3_graph)
         assert method.query_similarity("camera", "camera") == 1.0
 
     def test_backends_agree(self, fig3_graph, paper_config):
-        reference = create_method("simrank", config=paper_config, backend="reference").fit(fig3_graph)
-        matrix = create_method("simrank", config=paper_config, backend="matrix").fit(fig3_graph)
+        reference = create("simrank", config=paper_config, backend="reference").fit(fig3_graph)
+        matrix = create("simrank", config=paper_config, backend="matrix").fit(fig3_graph)
         assert matrix.query_similarity("pc", "tv") == pytest.approx(
             reference.query_similarity("pc", "tv"), abs=1e-9
         )
 
     def test_unknown_method_and_backend(self):
         with pytest.raises(ValueError):
-            create_method("not-a-method")
+            create("not-a-method")
         with pytest.raises(ValueError):
-            create_method("simrank", backend="gpu")
+            create("simrank", backend="gpu")
 
 
 class TestConvergence:

@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.core.config import SimrankConfig
-from repro.core.registry import create_method
+from repro.api.registry import create
 from repro.core.rewriter import Rewrite, RewriteList
 from repro.eval.coverage import DEPTH_BINS, coverage_percentage, depth_distribution, depth_histogram
 from repro.eval.desirability import (
@@ -93,8 +93,8 @@ class TestDesirability:
         graph = self._graph()
         config = SimrankConfig(iterations=5, zero_evidence_floor=0.1)
         factories = {
-            "simrank": lambda: create_method("simrank", config=config),
-            "weighted_simrank": lambda: create_method("weighted_simrank", config=config),
+            "simrank": lambda: create("simrank", config=config),
+            "weighted_simrank": lambda: create("weighted_simrank", config=config),
         }
         results = run_desirability_experiment(
             graph, factories, num_cases=5, rng=random.Random(1)
@@ -109,7 +109,7 @@ class TestDesirability:
     def test_no_removal_variant_sees_direct_evidence(self):
         graph = self._graph()
         config = SimrankConfig(iterations=5, zero_evidence_floor=0.1)
-        factories = {"weighted_simrank": lambda: create_method("weighted_simrank", config=config)}
+        factories = {"weighted_simrank": lambda: create("weighted_simrank", config=config)}
         cases = select_desirability_cases(graph, num_cases=5, rng=random.Random(2))
         with_removal = run_desirability_experiment(graph, factories, cases=cases)
         without_removal = run_desirability_experiment(

@@ -9,7 +9,7 @@ front-end and graded by the editorial judge.
 import pytest
 
 from repro.core.config import SimrankConfig
-from repro.core.registry import create_method
+from repro.api.registry import create
 from repro.core.rewriter import QueryRewriter
 from repro.eval.editorial import EditorialJudge
 from repro.graph.storage import ClickGraphStore
@@ -79,7 +79,7 @@ def test_click_graph_drives_useful_rewrites(serving_setup, tmp_path):
         bid_terms = store.load_bid_terms("period")
 
     config = SimrankConfig(iterations=5, zero_evidence_floor=0.1)
-    method = create_method("weighted_simrank", config=config)
+    method = create("weighted_simrank", config=config)
     rewriter = QueryRewriter(method, bid_terms=bid_terms, max_rewrites=5)
     rewriter.fit(graph)
 
@@ -102,7 +102,7 @@ def test_rewriting_frontend_feeds_back_into_serving(serving_setup):
     graph = system.build_click_graph()
     config = SimrankConfig(iterations=4, zero_evidence_floor=0.1)
     rewriter = QueryRewriter(
-        create_method("weighted_simrank", config=config),
+        create("weighted_simrank", config=config),
         bid_terms=bids.bid_terms(),
         max_rewrites=3,
     ).fit(graph)

@@ -20,6 +20,11 @@ from repro.serving.resilience import (
 )
 
 
+# load_engine_with_fallback is itself the deprecated shim under test here;
+# its DeprecationWarning is expected, not a failure.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
 class FakeClock:
     def __init__(self) -> None:
         self.now = 0.0
